@@ -1,0 +1,209 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// motivation and evaluation sections. Each BenchmarkFigure* prints its
+// table once (so `go test -bench=.` reproduces the evaluation) and then
+// times the harness itself. See EXPERIMENTS.md for paper-vs-measured
+// numbers and DESIGN.md §4 for the experiment index.
+package mulayer_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"mulayer"
+	"mulayer/internal/experiments"
+)
+
+var (
+	envOnce sync.Once
+	env     *mulayer.Experiments
+	printed sync.Map
+)
+
+func benchEnv(b *testing.B) *mulayer.Experiments {
+	b.Helper()
+	envOnce.Do(func() {
+		e, err := mulayer.NewExperiments()
+		if err != nil {
+			b.Fatal(err)
+		}
+		env = e
+	})
+	return env
+}
+
+// renderOnce prints a table the first time its benchmark runs.
+func renderOnce(id string, tab *experiments.Table) {
+	if _, dup := printed.LoadOrStore(id, true); !dup {
+		tab.Render(os.Stdout)
+	}
+}
+
+func benchFigure(b *testing.B, id string, gen func() (*experiments.Table, error)) {
+	e := benchEnv(b)
+	_ = e
+	for i := 0; i < b.N; i++ {
+		tab, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce(id, tab)
+	}
+}
+
+// BenchmarkFigure5PerLayerVGG16 regenerates Figure 5: per-layer VGG-16
+// latency, CPU vs GPU, on both SoCs.
+func BenchmarkFigure5PerLayerVGG16(b *testing.B) {
+	benchFigure(b, "fig5", benchEnv(b).Figure5)
+}
+
+// BenchmarkFigure6SingleProcessor regenerates Figure 6: whole-network
+// CPU-only vs GPU-only latency across the five NNs.
+func BenchmarkFigure6SingleProcessor(b *testing.B) {
+	benchFigure(b, "fig6", benchEnv(b).Figure6)
+}
+
+// BenchmarkFigure8Quantization regenerates Figure 8: the impact of F16 and
+// QUInt8 on CPU and GPU latency.
+func BenchmarkFigure8Quantization(b *testing.B) {
+	benchFigure(b, "fig8", benchEnv(b).Figure8)
+}
+
+// BenchmarkFigure10Accuracy regenerates Figure 10 under the teacher-label
+// substitution: top-5 agreement of F16, naive QUInt8, and range-calibrated
+// QUInt8 with the F32 network.
+func BenchmarkFigure10Accuracy(b *testing.B) {
+	e := benchEnv(b)
+	cfg := experiments.DefaultAccuracyConfig()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Figure10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce("fig10", tab)
+	}
+}
+
+// BenchmarkFigure12BranchPotential regenerates Figure 12: CPU-only vs
+// always-split cooperative vs optimal branch distribution on GoogLeNet's
+// first Inception module.
+func BenchmarkFigure12BranchPotential(b *testing.B) {
+	benchFigure(b, "fig12", benchEnv(b).Figure12)
+}
+
+// BenchmarkFigure16Latency regenerates Figure 16: the headline latency
+// comparison of single-processor, layer-to-processor, and μLayer.
+func BenchmarkFigure16Latency(b *testing.B) {
+	benchFigure(b, "fig16", benchEnv(b).Figure16)
+}
+
+// BenchmarkFigure17Ablation regenerates Figure 17: the incremental
+// contribution of channel distribution, processor-friendly quantization,
+// and branch distribution.
+func BenchmarkFigure17Ablation(b *testing.B) {
+	benchFigure(b, "fig17", benchEnv(b).Figure17)
+}
+
+// BenchmarkFigure18Energy regenerates Figure 18: per-inference energy for
+// the same mechanism suite.
+func BenchmarkFigure18Energy(b *testing.B) {
+	benchFigure(b, "fig18", benchEnv(b).Figure18)
+}
+
+// BenchmarkTable1Applicability regenerates Table 1: the evaluated NNs and
+// which μLayer mechanisms apply to each.
+func BenchmarkTable1Applicability(b *testing.B) {
+	benchFigure(b, "tab1", benchEnv(b).Table1)
+}
+
+// BenchmarkAblationSplitGranularity sweeps the split-ratio grid
+// granularity (DESIGN.md §6).
+func BenchmarkAblationSplitGranularity(b *testing.B) {
+	benchFigure(b, "abl1", benchEnv(b).AblationSplitGranularity)
+}
+
+// BenchmarkAblationAsyncIssue measures §6's implementation optimizations:
+// asynchronous GPU command issue and zero-copy memory on/off.
+func BenchmarkAblationAsyncIssue(b *testing.B) {
+	benchFigure(b, "abl2", benchEnv(b).AblationIssueAndMemory)
+}
+
+// BenchmarkAblationZeroCopy is an alias target kept for the DESIGN.md
+// index; zero-copy is swept together with async issue in Ablation A2.
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	benchFigure(b, "abl2b", benchEnv(b).AblationIssueAndMemory)
+}
+
+// BenchmarkAblationBranchDistribution isolates branch distribution on the
+// branchy NNs across both SoCs.
+func BenchmarkAblationBranchDistribution(b *testing.B) {
+	benchFigure(b, "abl3", benchEnv(b).AblationBranchDistribution)
+}
+
+// BenchmarkExtensionThroughput regenerates the multi-input taxonomy table
+// (the §2.2 / Figure 4 extension experiment).
+func BenchmarkExtensionThroughput(b *testing.B) {
+	e := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		tab, err := e.ExtensionThroughput(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renderOnce("ext1", tab)
+	}
+}
+
+// BenchmarkExtensionNPU regenerates the §8.3 NPU-extension table:
+// three-way CPU+GPU+NPU μLayer vs two-way μLayer and NPU-only.
+func BenchmarkExtensionNPU(b *testing.B) {
+	benchFigure(b, "ext2", benchEnv(b).ExtensionNPU)
+}
+
+// BenchmarkExtensionPerChannel regenerates the per-channel weight
+// quantization table (depthwise RMS error, the E3 extension).
+func BenchmarkExtensionPerChannel(b *testing.B) {
+	benchFigure(b, "ext3", benchEnv(b).ExtensionPerChannel)
+}
+
+// BenchmarkMuLayerInference times one end-to-end numeric μLayer inference
+// (reduced GoogLeNet) through the public API — the closest thing to the
+// runtime's own hot path.
+func BenchmarkMuLayerInference(b *testing.B) {
+	rt, err := mulayer.NewRuntime(mulayer.Exynos7420())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mulayer.GoogLeNet(mulayer.ModelConfig{Numeric: true, InputHW: 32, WidthScale: 0.25, Classes: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Calibrate(mulayer.CalibrationSet(m, 2, 9)); err != nil {
+		b.Fatal(err)
+	}
+	in := mulayer.RandomInput(m, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Run(m, in, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer, Numeric: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanOnly times plan construction (partitioner + predictor) for
+// the full-size GoogLeNet.
+func BenchmarkPlanOnly(b *testing.B) {
+	rt, err := mulayer.NewRuntime(mulayer.Exynos7420())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mulayer.GoogLeNet(mulayer.ModelConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Plan(m, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command mulayer-profile prints per-layer device profiles for a network —
+// the data the latency predictor is fitted on — plus the predictor's fit
+// quality per op class, mirroring the offline profiling pass of §6.
+//
+// Usage:
+//
+//	mulayer-profile -model vgg16 -soc high
+//	mulayer-profile -fit            # predictor fit-error summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mulayer"
+	"mulayer/internal/graph"
+	"mulayer/internal/models"
+	"mulayer/internal/nn"
+	"mulayer/internal/partition"
+	"mulayer/internal/profile"
+	"mulayer/internal/tensor"
+)
+
+var modelBuilders = map[string]func(models.Config) (*models.Model, error){
+	"lenet5":      mulayer.LeNet5,
+	"alexnet":     mulayer.AlexNet,
+	"vgg16":       mulayer.VGG16,
+	"googlenet":   mulayer.GoogLeNet,
+	"squeezenet":  mulayer.SqueezeNetV11,
+	"mobilenet":   mulayer.MobileNetV1,
+	"resnet18":    mulayer.ResNet18,
+	"inception3a": mulayer.Inception3a,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mulayer-profile: ")
+	modelName := flag.String("model", "vgg16", "network to profile")
+	socName := flag.String("soc", "high", "SoC: high or mid")
+	fitOnly := flag.Bool("fit", false, "print only the predictor fit-error summary")
+	flag.Parse()
+
+	var s *mulayer.SoC
+	switch *socName {
+	case "high":
+		s = mulayer.Exynos7420()
+	case "mid":
+		s = mulayer.Exynos7880()
+	default:
+		log.Fatalf("unknown SoC %q", *socName)
+	}
+	pred := profile.Build(s.CPU, s.GPU)
+
+	if *fitOnly {
+		fmt.Printf("predictor fit (geomean relative error vs the device model), %s:\n", s.Name)
+		for _, kind := range []nn.OpKind{nn.OpConv, nn.OpDepthwise, nn.OpFC, nn.OpMaxPool} {
+			for _, dt := range []mulayer.DataType{mulayer.F32, mulayer.QUInt8} {
+				fmt.Printf("  %-8s %-7v cpu %5.1f%%  gpu %5.1f%%\n", kind, dt,
+					profile.FitError(pred, s.CPU, kind, dt)*100,
+					profile.FitError(pred, s.GPU, kind, dt)*100)
+			}
+		}
+		return
+	}
+
+	build, ok := modelBuilders[*modelName]
+	if !ok {
+		log.Fatalf("unknown model %q", *modelName)
+	}
+	m, err := build(models.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shapes, err := m.Graph.InferShapes()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pipe := partition.ProcessorFriendly()
+	fmt.Printf("%s per-layer profile on %s (CPU: QUInt8, GPU: F16-from-QUInt8)\n", m.Name, s.Name)
+	fmt.Printf("%-28s %-8s %12s %12s %12s %8s\n", "layer", "kind", "MACs", "cpu(ms)", "gpu(ms)", "pred/dev")
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		if n.Layer.Kind() == nn.OpInput {
+			continue
+		}
+		c := n.Layer.Cost(m.Graph.InputShapes(n.ID, shapes))
+		cpuT := s.CPU.KernelTime(pipe.Work(partition.ProcCPU, n.Layer.Kind(), c, 0))
+		gpuT := s.GPU.KernelTime(pipe.Work(partition.ProcGPU, n.Layer.Kind(), c, 0))
+		predT := pred.Predict(s.CPU.Name, n.Layer.Kind(), tensor.QUInt8, false, c)
+		ratio := 0.0
+		if cpuT > 0 {
+			ratio = float64(predT) / float64(cpuT)
+		}
+		fmt.Printf("%-28s %-8s %12d %12.3f %12.3f %8.2f\n",
+			n.Layer.Name(), n.Layer.Kind(), c.MACs,
+			float64(cpuT)/1e6, float64(gpuT)/1e6, ratio)
+	}
+}

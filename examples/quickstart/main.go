@@ -1,0 +1,52 @@
+// Quickstart: plan and simulate one GoogLeNet inference with μLayer on the
+// high-end SoC, and compare it against the state-of-the-art
+// layer-to-processor baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mulayer"
+)
+
+func main() {
+	// A runtime is bound to one SoC model; constructing it profiles the
+	// processors and fits the latency predictor (the offline step of the
+	// paper's §6).
+	rt, err := mulayer.NewRuntime(mulayer.Exynos7420())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The default model build is "spec-only": full-size layer descriptors
+	// with no weights — exactly what the latency/energy simulation needs.
+	model, err := mulayer.GoogLeNet(mulayer.ModelConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := rt.Run(model, nil, mulayer.RunConfig{Mechanism: mulayer.MechLayerToProcessor})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cooperative, err := rt.Run(model, nil, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s\n\n", model.Name, rt.SoC().Name)
+	fmt.Printf("layer-to-processor: %s\n", baseline.Report)
+	fmt.Printf("uLayer:             %s\n\n", cooperative.Report)
+	impr := 1 - float64(cooperative.Report.Latency)/float64(baseline.Report.Latency)
+	fmt.Printf("uLayer speed improvement: %.1f%% (paper reports up to 59.9%% on the high-end SoC)\n", impr*100)
+
+	plan, err := rt.Plan(model, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d steps, %d cooperative channel splits, %d branch-distributed groups\n",
+		len(plan.Steps), plan.SplitCount(), plan.BranchCount())
+}

@@ -1,0 +1,3 @@
+module mulayer
+
+go 1.22

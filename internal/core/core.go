@@ -1,0 +1,172 @@
+// Package core assembles μLayer's three runtime components — the NN
+// partitioner, the latency predictor, and the NN executor (Figure 13) —
+// into a single Runtime that plans and executes inference on a modeled
+// SoC under any of the paper's execution mechanisms.
+package core
+
+import (
+	"fmt"
+
+	"mulayer/internal/exec"
+	"mulayer/internal/models"
+	"mulayer/internal/partition"
+	"mulayer/internal/profile"
+	"mulayer/internal/soc"
+	"mulayer/internal/tensor"
+)
+
+// Mechanism selects how a network is mapped onto the SoC's processors.
+type Mechanism int
+
+// The execution mechanisms of the evaluation (§7.2).
+const (
+	// MechCPUOnly runs the whole network on the CPU.
+	MechCPUOnly Mechanism = iota
+	// MechGPUOnly runs the whole network on the GPU.
+	MechGPUOnly
+	// MechLayerToProcessor is the state-of-the-art baseline: each layer on
+	// the faster processor, QUInt8 everywhere.
+	MechLayerToProcessor
+	// MechChannelDist adds the channel-wise workload distribution (§3.2),
+	// both processors still computing QUInt8.
+	MechChannelDist
+	// MechChannelDistProcQuant adds processor-friendly quantization (§4):
+	// CPU QUInt8, GPU F16 with on-the-fly conversion.
+	MechChannelDistProcQuant
+	// MechMuLayer is the complete system, adding branch distribution (§5).
+	MechMuLayer
+	// MechNPUOnly runs the whole network on the NPU (requires an
+	// NPU-equipped SoC, §8.3).
+	MechNPUOnly
+	// MechMuLayerNPU is μLayer with three-way CPU+GPU+NPU cooperation
+	// (requires an NPU-equipped SoC, §8.3).
+	MechMuLayerNPU
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case MechCPUOnly:
+		return "cpu-only"
+	case MechGPUOnly:
+		return "gpu-only"
+	case MechLayerToProcessor:
+		return "layer-to-processor"
+	case MechChannelDist:
+		return "channel-dist"
+	case MechChannelDistProcQuant:
+		return "channel-dist+proc-quant"
+	case MechMuLayer:
+		return "mulayer"
+	case MechNPUOnly:
+		return "npu-only"
+	case MechMuLayerNPU:
+		return "mulayer+npu"
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// RunConfig configures one inference.
+type RunConfig struct {
+	// Mechanism picks the execution mechanism (default MechMuLayer).
+	Mechanism Mechanism
+	// DType is the uniform data type of the single-processor mechanisms
+	// (default QUInt8, the fastest); ignored by the cooperative ones.
+	DType tensor.DataType
+	// Numeric runs the real kernels and produces an output tensor; the
+	// default cost-only mode simulates timing and energy only.
+	Numeric bool
+	// DisableAsyncIssue and DisableZeroCopy turn off §6's implementation
+	// optimizations (ablations).
+	DisableAsyncIssue bool
+	DisableZeroCopy   bool
+}
+
+// Runtime is a μLayer runtime bound to one SoC model: it owns the fitted
+// latency predictor and plans/executes networks on demand.
+type Runtime struct {
+	soc  *soc.SoC
+	pred *profile.Predictor
+}
+
+// NewRuntime profiles the SoC's processors and fits the latency predictor
+// (the offline step of §6).
+func NewRuntime(s *soc.SoC) (*Runtime, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil SoC")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runtime{soc: s, pred: profile.Build(s.Processors()...)}, nil
+}
+
+// SoC returns the runtime's SoC model.
+func (rt *Runtime) SoC() *soc.SoC { return rt.soc }
+
+// Predictor returns the fitted latency predictor.
+func (rt *Runtime) Predictor() *profile.Predictor { return rt.pred }
+
+// options maps a RunConfig to planner options.
+func (rt *Runtime) options(rc RunConfig) (partition.Options, error) {
+	dt := rc.DType
+	switch rc.Mechanism {
+	case MechCPUOnly:
+		return partition.SingleProcessor(rt.soc, rt.pred, partition.ProcCPU, dt), nil
+	case MechGPUOnly:
+		return partition.SingleProcessor(rt.soc, rt.pred, partition.ProcGPU, dt), nil
+	case MechLayerToProcessor:
+		return partition.LayerToProcessor(rt.soc, rt.pred), nil
+	case MechChannelDist:
+		return partition.ChannelDistOnly(rt.soc, rt.pred), nil
+	case MechChannelDistProcQuant:
+		return partition.ChannelDistProcQuant(rt.soc, rt.pred), nil
+	case MechMuLayer:
+		return partition.MuLayer(rt.soc, rt.pred), nil
+	case MechNPUOnly:
+		return partition.NPUOnly(rt.soc, rt.pred), nil
+	case MechMuLayerNPU:
+		return partition.MuLayerNPU(rt.soc, rt.pred), nil
+	}
+	return partition.Options{}, fmt.Errorf("core: unknown mechanism %d", int(rc.Mechanism))
+}
+
+// Plan builds the execution plan a RunConfig implies for a model.
+func (rt *Runtime) Plan(m *models.Model, rc RunConfig) (*partition.Plan, error) {
+	o, err := rt.options(rc)
+	if err != nil {
+		return nil, err
+	}
+	return partition.Build(m.Graph, o)
+}
+
+// Run plans and executes one inference. In numeric mode the model must be
+// numeric and, for quantized pipelines, calibrated; input may be nil in
+// cost-only mode.
+func (rt *Runtime) Run(m *models.Model, input *tensor.Tensor, rc RunConfig) (*exec.Result, error) {
+	o, err := rt.options(rc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := partition.Build(m.Graph, o)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Numeric {
+		if m.SpecOnly {
+			return nil, fmt.Errorf("core: model %s is spec-only; build it with Config.Numeric", m.Name)
+		}
+		if o.Pipe.Storage == tensor.QUInt8 && !m.Calibrated {
+			return nil, fmt.Errorf("core: model %s is not calibrated; run Calibrate first", m.Name)
+		}
+	}
+	cfg := exec.Config{
+		SoC:         rt.soc,
+		Pipe:        o.Pipe,
+		Numeric:     rc.Numeric,
+		InputParams: m.InputParams,
+		AsyncIssue:  !rc.DisableAsyncIssue,
+		ZeroCopy:    !rc.DisableZeroCopy,
+	}
+	return exec.Run(m.Graph, plan, input, cfg)
+}

@@ -1,0 +1,106 @@
+// Package dataset provides the synthetic classification benchmark that
+// substitutes for ImageNet in the Figure 10 accuracy experiment
+// (DESIGN.md §2).
+//
+// The paper measures top-5 ImageNet accuracy of pretrained networks under
+// F16 and QUInt8 quantization. Without ImageNet or pretrained weights, we
+// use the teacher-label construction: the F32 network itself defines the
+// ground truth (its top-1 prediction on each input is the label), and a
+// quantized variant is scored by how often its top-k predictions contain
+// the teacher's label. By construction F32 scores 100%; what the
+// experiment measures — identically to the paper — is how much prediction
+// agreement each quantization scheme destroys. The relative ladder
+// (F16 ≈ F32, naive QUInt8 collapsing on deep networks, range-calibrated
+// QUInt8 recovering to within a few points) is the reproduced result.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"mulayer/internal/models"
+	"mulayer/internal/tensor"
+)
+
+// Dataset is a synthetic labelled sample set.
+type Dataset struct {
+	Inputs []*tensor.Tensor
+	Labels []int
+}
+
+// Synthesize draws n pseudo-random inputs and labels them with the F32
+// teacher (the model must be numeric). The same (model, n, seed) always
+// yields the same dataset.
+func Synthesize(m *models.Model, n int, seed uint64) (*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: need a positive sample count")
+	}
+	d := &Dataset{Inputs: make([]*tensor.Tensor, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		in := tensor.New(m.InputShape)
+		in.FillRandom(seed+uint64(i)*7919, 1)
+		vals, err := m.RunF32(in)
+		if err != nil {
+			return nil, err
+		}
+		d.Inputs[i] = in
+		d.Labels[i] = Argmax(vals[m.Graph.Output()].Data)
+	}
+	return d, nil
+}
+
+// Argmax returns the index of the largest value.
+func Argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest values, best first.
+func TopK(xs []float32, k int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Accuracy holds top-1 and top-5 agreement rates in [0,1].
+type Accuracy struct {
+	Top1, Top5 float64
+}
+
+// Score evaluates a predictor function over the dataset. predict must
+// return the class scores for one input.
+func (d *Dataset) Score(predict func(*tensor.Tensor) ([]float32, error)) (Accuracy, error) {
+	var a Accuracy
+	for i, in := range d.Inputs {
+		scores, err := predict(in)
+		if err != nil {
+			return Accuracy{}, err
+		}
+		label := d.Labels[i]
+		top5 := TopK(scores, 5)
+		if top5[0] == label {
+			a.Top1++
+		}
+		for _, t := range top5 {
+			if t == label {
+				a.Top5++
+				break
+			}
+		}
+	}
+	n := float64(len(d.Inputs))
+	a.Top1 /= n
+	a.Top5 /= n
+	return a, nil
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"testing"
+
+	"mulayer/internal/models"
+	"mulayer/internal/tensor"
+)
+
+func teacher(t *testing.T) *models.Model {
+	t.Helper()
+	m, err := models.LeNet5(models.Config{Numeric: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	m := teacher(t)
+	a, err := Synthesize(m, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(m, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels must be deterministic")
+		}
+		if a.Inputs[i].MaxAbsDiff(b.Inputs[i]) != 0 {
+			t.Fatal("inputs must be deterministic")
+		}
+	}
+	c, _ := Synthesize(m, 8, 43)
+	same := true
+	for i := range a.Inputs {
+		if a.Inputs[i].MaxAbsDiff(c.Inputs[i]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSynthesizeRejectsBadCount(t *testing.T) {
+	m := teacher(t)
+	if _, err := Synthesize(m, 0, 1); err == nil {
+		t.Fatal("zero samples must fail")
+	}
+}
+
+func TestTeacherScoresPerfectly(t *testing.T) {
+	m := teacher(t)
+	d, err := Synthesize(m, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := d.Score(func(in *tensor.Tensor) ([]float32, error) {
+		vals, err := m.RunF32(in)
+		if err != nil {
+			return nil, err
+		}
+		return vals[m.Graph.Output()].Data, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Top1 != 1 || acc.Top5 != 1 {
+		t.Fatalf("teacher must agree with itself: %+v", acc)
+	}
+}
+
+func TestRandomGuessScoresPoorly(t *testing.T) {
+	m := teacher(t)
+	d, _ := Synthesize(m, 30, 9)
+	i := 0
+	acc, err := d.Score(func(in *tensor.Tensor) ([]float32, error) {
+		// A rotating one-hot guess uncorrelated with the teacher.
+		scores := make([]float32, 10)
+		scores[i%10] = 1
+		i++
+		return scores, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Top1 > 0.5 {
+		t.Fatalf("uncorrelated guesses should score poorly, got %+v", acc)
+	}
+	if acc.Top5 < acc.Top1 {
+		t.Fatal("top-5 can never be below top-1")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	xs := []float32{0.1, 0.9, 0.3, 0.7, 0.5}
+	got := TopK(xs, 3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topk = %v", got)
+		}
+	}
+	if len(TopK(xs, 99)) != 5 {
+		t.Fatal("k beyond length must clamp")
+	}
+	if Argmax(xs) != 1 {
+		t.Fatal("argmax")
+	}
+}

@@ -1,0 +1,532 @@
+// Package exec implements μLayer's NN executor (§6, Figure 13): it runs an
+// execution plan over a network graph, performing the channel-wise
+// workload distribution (each processor computes a disjoint output-channel
+// range), processor-friendly quantization (QUInt8 kernels on the CPU, on-
+// the-fly F16 kernels on the GPU), and branch distribution (whole branches
+// per processor), while modeling the paper's implementation optimizations:
+// asynchronous GPU command issue overlapped with CPU-side work and
+// zero-copy CPU-GPU shared memory.
+//
+// The executor has two modes. In numeric mode it actually computes the
+// network's tensors with the substrate kernels, so correctness tests can
+// compare cooperative output against single-processor references bit for
+// bit. In cost-only mode it walks the identical scheduling code without
+// touching tensor data, which is how the full-size paper workloads (e.g.
+// VGG-16 at 224²) are simulated quickly. Either way the simulated
+// timeline, latency, and energy come from the device cost models.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mulayer/internal/device"
+	"mulayer/internal/graph"
+	"mulayer/internal/nn"
+	"mulayer/internal/partition"
+	"mulayer/internal/quant"
+	"mulayer/internal/sim"
+	"mulayer/internal/soc"
+	"mulayer/internal/tensor"
+)
+
+// Config controls one execution.
+type Config struct {
+	SoC  *soc.SoC
+	Pipe partition.Pipeline
+	// Numeric enables real tensor computation alongside the simulation.
+	Numeric bool
+	// InputParams is the quantization grid of the network input
+	// (required for QUInt8 storage in numeric mode).
+	InputParams quant.Params
+	// AsyncIssue enables asynchronous GPU command issue (§6); disabling it
+	// (ablation) blocks the CPU for the GPU's dispatch latency.
+	AsyncIssue bool
+	// ZeroCopy enables zero-copy shared CPU-GPU memory (§6); disabling it
+	// (ablation) charges copy-based synchronization on processor
+	// transitions.
+	ZeroCopy bool
+}
+
+// DefaultConfig returns the μLayer production configuration for a SoC.
+func DefaultConfig(s *soc.SoC) Config {
+	return Config{SoC: s, Pipe: partition.ProcessorFriendly(), AsyncIssue: true, ZeroCopy: true}
+}
+
+// Result is the outcome of one simulated inference.
+type Result struct {
+	// Output is the final activation as float32 (dequantized if needed);
+	// nil in cost-only mode.
+	Output   *tensor.Tensor
+	Report   sim.Report
+	Timeline *sim.Timeline
+}
+
+// procMask tracks which processors hold a tensor coherently.
+type procMask uint8
+
+const (
+	onCPU procMask = 1 << iota
+	onGPU
+	onNPU
+)
+
+func maskOf(p partition.Proc) procMask {
+	switch p {
+	case partition.ProcCPU:
+		return onCPU
+	case partition.ProcNPU:
+		return onNPU
+	}
+	return onGPU
+}
+
+type runner struct {
+	g      *graph.Graph
+	cfg    Config
+	shapes map[graph.NodeID]tensor.Shape
+	tl     *sim.Timeline
+
+	ready      map[graph.NodeID]time.Duration
+	producedOn map[graph.NodeID]procMask
+	values     map[graph.NodeID]any
+
+	// seq is the completion time of the previous plan step: μLayer's
+	// executor processes the plan sequentially, one step at a time (§5
+	// notes layers are "executed in a serialized manner"; only the
+	// branches inside one BranchStep run concurrently).
+	seq time.Duration
+
+	dramBytes int64
+	launches  int
+
+	// all is the mask of every processor present on the SoC; a tensor
+	// with producedOn == all is coherent everywhere.
+	all procMask
+}
+
+// newRunner prepares per-inference state over a (possibly shared)
+// timeline; arrival is the time the input becomes available.
+func newRunner(g *graph.Graph, cfg Config, shapes map[graph.NodeID]tensor.Shape, tl *sim.Timeline, arrival time.Duration) *runner {
+	r := &runner{
+		g: g, cfg: cfg, shapes: shapes,
+		tl:         tl,
+		ready:      make(map[graph.NodeID]time.Duration),
+		producedOn: make(map[graph.NodeID]procMask),
+		values:     make(map[graph.NodeID]any),
+		seq:        arrival,
+		all:        onCPU | onGPU,
+	}
+	if cfg.SoC.NPU != nil {
+		r.all |= onNPU
+	}
+	// The input arrives in zero-copy shared memory: visible everywhere.
+	in := g.Input()
+	r.ready[in] = arrival
+	r.producedOn[in] = r.all
+	return r
+}
+
+// execute walks the plan's steps in order.
+func (r *runner) execute(plan *partition.Plan) {
+	for _, st := range plan.Steps {
+		switch {
+		case st.Layer != nil:
+			if st.Layer.PNPU > 0 && st.Layer.PNPU < 1 {
+				r.runLayer3(st.Layer.Node, st.Layer.P, st.Layer.PNPU)
+			} else if st.Layer.PNPU >= 1 {
+				r.runSingle(st.Layer.Node, partition.ProcNPU)
+			} else {
+				r.runLayer(st.Layer.Node, st.Layer.P)
+			}
+		case st.Branch != nil:
+			r.runBranch(st.Branch)
+		}
+	}
+}
+
+// Run executes plan over g with the given float32 input.
+func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config) (*Result, error) {
+	if cfg.SoC == nil {
+		return nil, fmt.Errorf("exec: SoC is required")
+	}
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Numeric {
+		if input == nil {
+			return nil, fmt.Errorf("exec: numeric mode requires an input tensor")
+		}
+		if input.Shape != shapes[g.Input()] {
+			return nil, fmt.Errorf("exec: input shape %v, graph wants %v", input.Shape, shapes[g.Input()])
+		}
+	}
+	cover := plan.Covered()
+	for i := 0; i < g.Len(); i++ {
+		id := graph.NodeID(i)
+		if g.Node(id).Layer.Kind() == nn.OpInput {
+			continue
+		}
+		if cover[id] != 1 {
+			return nil, fmt.Errorf("exec: plan covers node %d %dx, want exactly once", id, cover[id])
+		}
+	}
+
+	r := newRunner(g, cfg, shapes, sim.NewTimeline(), 0)
+	if cfg.Numeric {
+		r.values[g.Input()] = r.convertInput(input)
+	}
+	r.execute(plan)
+
+	if err := r.tl.Validate(); err != nil {
+		return nil, err
+	}
+	makespan := r.tl.Makespan()
+	rep := sim.Report{
+		Latency:        makespan,
+		DynamicJ:       r.tl.DynamicEnergyPJ() * 1e-12,
+		DRAMJ:          float64(r.dramBytes) * cfg.SoC.DRAMPicoJPerByte * 1e-12,
+		StaticJ:        cfg.SoC.StaticPowerW * makespan.Seconds(),
+		CPUBusy:        r.tl.BusyTime(cfg.SoC.CPU.Name),
+		GPUBusy:        r.tl.BusyTime(cfg.SoC.GPU.Name),
+		KernelLaunches: r.launches,
+	}
+	if cfg.SoC.NPU != nil {
+		rep.NPUBusy = r.tl.BusyTime(cfg.SoC.NPU.Name)
+	}
+	res := &Result{Report: rep, Timeline: r.tl}
+	if cfg.Numeric {
+		res.Output = r.outputF32(g.Output())
+	}
+	return res, nil
+}
+
+// convertInput lowers the float32 input into the pipeline's storage type.
+func (r *runner) convertInput(in *tensor.Tensor) any {
+	switch r.cfg.Pipe.Storage {
+	case tensor.F32:
+		return in.Clone()
+	case tensor.F16:
+		return tensor.ToHalf(in)
+	case tensor.QUInt8:
+		return tensor.Quantize(in, r.cfg.InputParams)
+	}
+	panic("exec: unknown storage type")
+}
+
+// outputF32 widens the final activation back to float32.
+func (r *runner) outputF32(id graph.NodeID) *tensor.Tensor {
+	switch v := r.values[id].(type) {
+	case *tensor.Tensor:
+		return v
+	case *tensor.HTensor:
+		return tensor.HalfToFloat(v)
+	case *tensor.QTensor:
+		return tensor.Dequantize(v)
+	}
+	return nil
+}
+
+// proc returns the device model for a processor.
+func (r *runner) proc(p partition.Proc) *device.Processor {
+	switch p {
+	case partition.ProcCPU:
+		return r.cfg.SoC.CPU
+	case partition.ProcNPU:
+		return r.cfg.SoC.NPU
+	}
+	return r.cfg.SoC.GPU
+}
+
+// inputsReady returns the time at which every input of node id is
+// available on the processors in need, charging CPU-GPU synchronization
+// when a tensor was produced elsewhere (zero-copy map/unmap, or a full
+// copy in the ablation configuration).
+func (r *runner) inputsReady(id graph.NodeID, need procMask) time.Duration {
+	var ready time.Duration
+	for _, in := range r.g.Node(id).Inputs {
+		t := r.ready[in]
+		if need&^r.producedOn[in] != 0 {
+			t += r.syncCost(in)
+			// After synchronization the tensor is coherent everywhere.
+			r.producedOn[in] = r.all
+			r.ready[in] = t
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	return ready
+}
+
+// syncCost is the latency of making one tensor visible across processors:
+// zero-copy cache maintenance over the buffer, or a full copy in the
+// ablation configuration.
+func (r *runner) syncCost(id graph.NodeID) time.Duration {
+	bytes := int64(r.shapes[id].Elems()) * r.cfg.Pipe.Storage.Size()
+	if r.cfg.ZeroCopy {
+		return r.cfg.SoC.SyncCost(bytes)
+	}
+	// The copy-based path still performs the cache maintenance and then
+	// moves the buffer through DRAM on top.
+	copyT := float64(bytes) / (r.cfg.SoC.CPU.MemBWGBs * 1e9)
+	return r.cfg.SoC.CopySyncOverhead + r.cfg.SoC.SyncCost(bytes) + time.Duration(copyT*float64(time.Second))
+}
+
+// sideWork builds the device work item for one processor's share of a
+// layer.
+func (r *runner) sideWork(p partition.Proc, kind nn.OpKind, c nn.Cost, sideCh int) device.Work {
+	ssz := r.cfg.Pipe.Storage.Size()
+	wsz := r.cfg.Pipe.WeightBytes(p)
+	return device.Work{
+		Kind:            kind,
+		MACs:            c.MACs,
+		MovedBytes:      c.InElems*ssz + c.WElems*wsz + c.OutElems*ssz,
+		WorkingSetBytes: c.InElems*ssz + c.WElems*wsz,
+		Compute:         r.cfg.Pipe.ComputeType(p),
+		Converted:       r.cfg.Pipe.Converted(p),
+		SideChannels:    sideCh,
+	}
+}
+
+// runSingle schedules one whole layer on one processor as its own plan
+// step (serialized against the previous step).
+func (r *runner) runSingle(id graph.NodeID, p partition.Proc) {
+	r.runWhole(id, p, true, r.seq)
+	r.seq = r.ready[id]
+}
+
+// runWhole schedules one whole layer on one processor, starting no earlier
+// than floor. chargeLaunch=false models back-to-back command enqueueing
+// within a branch: consecutive GPU kernels of the same branch need no CPU
+// round-trip, so only the branch's first kernel pays the dispatch latency.
+func (r *runner) runWhole(id graph.NodeID, p partition.Proc, chargeLaunch bool, floor time.Duration) {
+	n := r.g.Node(id)
+	ins := r.g.InputShapes(id, r.shapes)
+	cost := n.Layer.Cost(ins)
+	ready := r.inputsReady(id, maskOf(p))
+	if floor > ready {
+		ready = floor
+	}
+	proc := r.proc(p)
+	w := r.sideWork(p, n.Layer.Kind(), cost, 0)
+	dur := proc.KernelTime(w)
+	if chargeLaunch {
+		dur += proc.LaunchOverhead
+	}
+	_, end := r.tl.Schedule(proc.Name, n.Layer.Name(), ready, dur, proc.KernelEnergyPJ(w))
+	r.launches++
+	r.dramBytes += w.MovedBytes
+	r.ready[id] = end
+	r.producedOn[id] = maskOf(p)
+	if r.cfg.Numeric {
+		out := r.allocOut(id)
+		r.forward(id, out, 0, r.fullRange(id), p)
+		r.values[id] = out
+	}
+}
+
+// runLayer executes one plan layer step with split ratio p.
+func (r *runner) runLayer(id graph.NodeID, p float64) {
+	if p >= 1 {
+		r.runSingle(id, partition.ProcCPU)
+		return
+	}
+	if p <= 0 {
+		r.runSingle(id, partition.ProcGPU)
+		return
+	}
+	n := r.g.Node(id)
+	ins := r.g.InputShapes(id, r.shapes)
+	c := n.Layer.SplitChannels(ins)
+	if c < 2 {
+		// Degenerate: cannot split a single channel; run on the CPU.
+		r.runSingle(id, partition.ProcCPU)
+		return
+	}
+	splitC := int(math.Round(p * float64(c)))
+	if splitC < 1 {
+		splitC = 1
+	}
+	if splitC > c-1 {
+		splitC = c - 1
+	}
+	pEff := float64(splitC) / float64(c)
+
+	cost := n.Layer.Cost(ins)
+	kind := n.Layer.Kind()
+	ready := r.inputsReady(id, onCPU|onGPU)
+	if r.seq > ready {
+		ready = r.seq
+	}
+
+	cpu, gpu := r.cfg.SoC.CPU, r.cfg.SoC.GPU
+	cw := r.sideWork(partition.ProcCPU, kind, cost.Scale(pEff), splitC)
+	gw := r.sideWork(partition.ProcGPU, kind, cost.Scale(1-pEff), c-splitC)
+	cpuK := cpu.KernelTime(cw)
+	gpuK := gpu.KernelTime(gw)
+
+	var cpuDur, gpuDur time.Duration
+	var gpuReady time.Duration
+	if r.cfg.AsyncIssue {
+		// The CPU enqueues the GPU command asynchronously and proceeds with
+		// its own share; the dispatch latency runs on the GPU side (§6).
+		cpuDur = cpu.LaunchOverhead + cpuK
+		gpuDur = gpu.LaunchOverhead + gpuK
+		gpuReady = ready
+	} else {
+		// Blocking issue: the CPU stalls for the GPU dispatch first.
+		cpuDur = gpu.LaunchOverhead + cpu.LaunchOverhead + cpuK
+		gpuDur = gpuK
+		gpuReady = ready + gpu.LaunchOverhead
+	}
+	_, cpuEnd := r.tl.Schedule(cpu.Name, n.Layer.Name()+"[cpu]", ready, cpuDur, cpu.KernelEnergyPJ(cw))
+	_, gpuEnd := r.tl.Schedule(gpu.Name, n.Layer.Name()+"[gpu]", gpuReady, gpuDur, gpu.KernelEnergyPJ(gw))
+	r.launches += 2
+	r.dramBytes += cw.MovedBytes + gw.MovedBytes
+
+	end := cpuEnd
+	if gpuEnd > end {
+		end = gpuEnd
+	}
+	// Merge: with zero-copy memory the partial outputs already live in the
+	// same buffer; the merge is the map/unmap barrier, whose cache
+	// maintenance covers the shared input and output buffers.
+	ssz := r.cfg.Pipe.Storage.Size()
+	coherent := (cost.InElems + cost.OutElems) * ssz
+	end += r.cfg.SoC.SyncCost(coherent)
+	if !r.cfg.ZeroCopy {
+		bytes := int64(r.shapes[id].Elems()) * ssz
+		end += r.cfg.SoC.CopySyncOverhead + time.Duration(float64(bytes)/(cpu.MemBWGBs*1e9)*float64(time.Second))
+	}
+	r.ready[id] = end
+	r.producedOn[id] = r.all
+	r.seq = end
+
+	if r.cfg.Numeric {
+		out := r.allocOut(id)
+		r.forward(id, out, 0, splitC, partition.ProcCPU)
+		r.forward(id, out, splitC, c, partition.ProcGPU)
+		r.values[id] = out
+	}
+}
+
+// runBranch executes one branch-distributed fork-join group: every branch
+// runs whole on its assigned processor, branches on the same processor
+// serialize, and the downstream join synchronizes on all of them (§5).
+func (r *runner) runBranch(st *partition.BranchStep) {
+	floor := r.seq
+	var groupEnd time.Duration
+	for i, br := range st.Group.Branches {
+		p := st.Assign[i]
+		for j, id := range br {
+			// A branch's kernels are enqueued back-to-back: only the first
+			// pays the dispatch latency (§6's asynchronous command issue).
+			r.runWhole(id, p, j == 0, floor)
+		}
+		if end := r.ready[br[len(br)-1]]; end > groupEnd {
+			groupEnd = end
+		}
+	}
+	r.seq = groupEnd
+}
+
+// fullRange returns the layer's split-channel count, or 1 for whole-layer
+// execution of non-splittable layers.
+func (r *runner) fullRange(id graph.NodeID) int {
+	n := r.g.Node(id)
+	ins := r.g.InputShapes(id, r.shapes)
+	if c := n.Layer.SplitChannels(ins); c > 0 {
+		return c
+	}
+	return 1
+}
+
+// allocOut allocates the node's output tensor in the storage type.
+func (r *runner) allocOut(id graph.NodeID) any {
+	shape := r.shapes[id]
+	switch r.cfg.Pipe.Storage {
+	case tensor.F32:
+		return tensor.New(shape)
+	case tensor.F16:
+		return tensor.NewH(shape)
+	case tensor.QUInt8:
+		return tensor.NewQ(shape, r.outParams(id))
+	}
+	panic("exec: unknown storage type")
+}
+
+// outParams resolves the quantization grid of a node's output: the layer's
+// calibrated output params, falling back to its first input's params for
+// shape-preserving layers.
+func (r *runner) outParams(id graph.NodeID) quant.Params {
+	n := r.g.Node(id)
+	if qi := n.Layer.Quant(); qi != nil && qi.Ready {
+		return qi.Out
+	}
+	if len(n.Inputs) > 0 {
+		if q, ok := r.values[n.Inputs[0]].(*tensor.QTensor); ok {
+			return q.Params
+		}
+	}
+	return r.cfg.InputParams
+}
+
+// Forwarding interfaces implemented by the nn layers per pipeline.
+type f32Forwarder interface {
+	ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int)
+}
+type hForwarder interface {
+	ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int)
+}
+type hWeightedForwarder interface {
+	ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int, fromQ bool)
+}
+type qForwarder interface {
+	ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int)
+}
+type qViaF16Forwarder interface {
+	ForwardQViaF16(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int)
+}
+
+// forward dispatches the numeric kernel for channels [c0,c1) of node id on
+// the pipeline of processor side.
+func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Proc) {
+	n := r.g.Node(id)
+	layer := n.Layer
+	switch r.cfg.Pipe.Storage {
+	case tensor.F32:
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i, inID := range n.Inputs {
+			ins[i] = r.values[inID].(*tensor.Tensor)
+		}
+		layer.(f32Forwarder).ForwardF32(ins, out.(*tensor.Tensor), c0, c1)
+	case tensor.F16:
+		ins := make([]*tensor.HTensor, len(n.Inputs))
+		for i, inID := range n.Inputs {
+			ins[i] = r.values[inID].(*tensor.HTensor)
+		}
+		switch l := layer.(type) {
+		case hWeightedForwarder:
+			l.ForwardF16(ins, out.(*tensor.HTensor), c0, c1, false)
+		case hForwarder:
+			l.ForwardF16(ins, out.(*tensor.HTensor), c0, c1)
+		default:
+			panic(fmt.Sprintf("exec: layer %s has no F16 pipeline", layer.Name()))
+		}
+	case tensor.QUInt8:
+		ins := make([]*tensor.QTensor, len(n.Inputs))
+		for i, inID := range n.Inputs {
+			ins[i] = r.values[inID].(*tensor.QTensor)
+		}
+		if r.cfg.Pipe.Converted(side) {
+			if l, ok := layer.(qViaF16Forwarder); ok {
+				l.ForwardQViaF16(ins, out.(*tensor.QTensor), c0, c1)
+				return
+			}
+		}
+		layer.(qForwarder).ForwardQ(ins, out.(*tensor.QTensor), c0, c1)
+	}
+}

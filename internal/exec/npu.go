@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"time"
+
+	"mulayer/internal/graph"
+	"mulayer/internal/partition"
+)
+
+// runLayer3 executes one layer cooperatively across the CPU, the GPU, and
+// the NPU — the §8.3 extension of the channel-wise workload distribution.
+// pCPU and pNPU are the CPU and NPU output-channel shares; the GPU
+// computes the remainder. Shares of 0 deactivate a side; a single active
+// side degenerates to runSingle.
+func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
+	n := r.g.Node(id)
+	ins := r.g.InputShapes(id, r.shapes)
+	c := n.Layer.SplitChannels(ins)
+	if c < 2 {
+		r.runSingle(id, partition.ProcCPU)
+		return
+	}
+	cpuCh, gpuCh, npuCh := partition.SplitChannels3(pCPU, pNPU, c)
+	active := 0
+	for _, ch := range []int{cpuCh, gpuCh, npuCh} {
+		if ch > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		switch {
+		case cpuCh == c:
+			r.runSingle(id, partition.ProcCPU)
+		case npuCh == c:
+			r.runSingle(id, partition.ProcNPU)
+		default:
+			r.runSingle(id, partition.ProcGPU)
+		}
+		return
+	}
+
+	cost := n.Layer.Cost(ins)
+	kind := n.Layer.Kind()
+	ready := r.inputsReady(id, r.all)
+	if r.seq > ready {
+		ready = r.seq
+	}
+
+	// Accelerator dispatches are enqueued asynchronously (§6); in the
+	// blocking-issue ablation the CPU stalls for each accelerator's
+	// dispatch before starting its own share.
+	var issueStall time.Duration
+	end := ready
+	side := func(p partition.Proc, ch int) {
+		if ch <= 0 {
+			return
+		}
+		share := float64(ch) / float64(c)
+		proc := r.proc(p)
+		w := r.sideWork(p, kind, cost.Scale(share), ch)
+		dur := proc.LaunchOverhead + proc.KernelTime(w)
+		start := ready
+		if !r.cfg.AsyncIssue && p != partition.ProcCPU {
+			issueStall += proc.LaunchOverhead
+		}
+		if p == partition.ProcCPU {
+			dur += issueStall
+		}
+		_, e := r.tl.Schedule(proc.Name, n.Layer.Name()+"["+procSuffix(p)+"]", start, dur, proc.KernelEnergyPJ(w))
+		r.launches++
+		r.dramBytes += w.MovedBytes
+		if e > end {
+			end = e
+		}
+	}
+	// Issue accelerators first (the CPU enqueues their commands), then the
+	// CPU's own share.
+	side(partition.ProcGPU, gpuCh)
+	side(partition.ProcNPU, npuCh)
+	side(partition.ProcCPU, cpuCh)
+
+	// Merge: one map/unmap barrier over the shared buffers.
+	ssz := r.cfg.Pipe.Storage.Size()
+	end += r.cfg.SoC.SyncCost((cost.InElems + cost.OutElems) * ssz)
+	if !r.cfg.ZeroCopy {
+		bytes := int64(r.shapes[id].Elems()) * ssz
+		end += r.cfg.SoC.CopySyncOverhead + time.Duration(float64(bytes)/(r.cfg.SoC.CPU.MemBWGBs*1e9)*float64(time.Second))
+	}
+	r.ready[id] = end
+	r.producedOn[id] = r.all
+	r.seq = end
+
+	if r.cfg.Numeric {
+		out := r.allocOut(id)
+		lo := 0
+		if cpuCh > 0 {
+			r.forward(id, out, lo, lo+cpuCh, partition.ProcCPU)
+			lo += cpuCh
+		}
+		if gpuCh > 0 {
+			r.forward(id, out, lo, lo+gpuCh, partition.ProcGPU)
+			lo += gpuCh
+		}
+		if npuCh > 0 {
+			r.forward(id, out, lo, lo+npuCh, partition.ProcNPU)
+		}
+		r.values[id] = out
+	}
+}
+
+func procSuffix(p partition.Proc) string {
+	switch p {
+	case partition.ProcCPU:
+		return "cpu"
+	case partition.ProcNPU:
+		return "npu"
+	}
+	return "gpu"
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// motivation and evaluation sections (see DESIGN.md §4 for the index).
+// Each Figure*/Table* function returns a renderable Table; the bench
+// harness (bench_test.go) and cmd/mulayer-bench print them.
+//
+// Latency and energy figures run the executor in cost-only mode over the
+// full-size spec models, driven by the calibrated device models; the
+// accuracy figure (Figure 10) runs reduced numeric models through the real
+// kernels (DESIGN.md §2 records both substitutions).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"mulayer/internal/exec"
+	"mulayer/internal/models"
+	"mulayer/internal/partition"
+	"mulayer/internal/profile"
+	"mulayer/internal/sim"
+	"mulayer/internal/soc"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "Figure 16"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Env caches the SoCs, predictors, and spec models shared by the
+// experiments.
+type Env struct {
+	SoCs  []*soc.SoC
+	preds map[string]*profile.Predictor
+	specs []*models.Model
+}
+
+// NewEnv profiles both SoCs and builds the five full-size spec models.
+func NewEnv() (*Env, error) {
+	e := &Env{SoCs: soc.All(), preds: make(map[string]*profile.Predictor)}
+	for _, s := range e.SoCs {
+		e.preds[s.Name] = profile.Build(s.CPU, s.GPU)
+	}
+	specs, err := models.Evaluated(models.Config{})
+	if err != nil {
+		return nil, err
+	}
+	e.specs = specs
+	return e, nil
+}
+
+// Pred returns the predictor for a SoC.
+func (e *Env) Pred(s *soc.SoC) *profile.Predictor { return e.preds[s.Name] }
+
+// Specs returns the five evaluation networks (full-size, spec-only).
+func (e *Env) Specs() []*models.Model { return e.specs }
+
+// RunMechanism plans and cost-runs one mechanism on one model.
+func (e *Env) RunMechanism(m *models.Model, s *soc.SoC, o partition.Options) (sim.Report, error) {
+	plan, err := partition.Build(m.Graph, o)
+	if err != nil {
+		return sim.Report{}, err
+	}
+	res, err := exec.Run(m.Graph, plan, nil, exec.Config{
+		SoC: s, Pipe: o.Pipe, AsyncIssue: true, ZeroCopy: true,
+	})
+	if err != nil {
+		return sim.Report{}, err
+	}
+	return res.Report, nil
+}
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d)/1e6) }
+
+// ratio formats a/b.
+func ratio(a, b time.Duration) string { return fmt.Sprintf("%.2f", float64(a)/float64(b)) }
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// mj formats joules as millijoules.
+func mj(j float64) string { return fmt.Sprintf("%.1f", j*1e3) }
+
+// geomean returns the geometric mean of xs.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionThroughputTaxonomy(t *testing.T) {
+	tab, err := env.ExtensionThroughput(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in groups of four policies per (NN, SoC).
+	if len(tab.Rows)%4 != 0 || len(tab.Rows) == 0 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 4 {
+		cpuT := parseF(tab.Rows[i][3])
+		gpuT := parseF(tab.Rows[i+1][3])
+		n2pT := parseF(tab.Rows[i+2][3])
+		muT := parseF(tab.Rows[i+3][3])
+		best := cpuT
+		if gpuT > best {
+			best = gpuT
+		}
+		if n2pT <= best {
+			t.Errorf("%s/%s: network-to-processor throughput %.2f !> best single %.2f",
+				tab.Rows[i][0], tab.Rows[i][1], n2pT, best)
+		}
+		if muT <= best {
+			t.Errorf("%s/%s: uLayer throughput %.2f !> best single %.2f",
+				tab.Rows[i][0], tab.Rows[i][1], muT, best)
+		}
+		// μLayer's single-input latency beats every other policy's — the
+		// Figure 4 taxonomy's second axis: network-to-processor mapping
+		// leaves single-input latency at single-processor levels.
+		cpuOne := parseF(tab.Rows[i][4])
+		gpuOne := parseF(tab.Rows[i+1][4])
+		n2pOne := parseF(tab.Rows[i+2][4])
+		muOne := parseF(tab.Rows[i+3][4])
+		bestSingle := cpuOne
+		if gpuOne < bestSingle {
+			bestSingle = gpuOne
+		}
+		if n2pOne < bestSingle*0.999 {
+			t.Errorf("%s/%s: network-to-processor single-input %.2f cannot beat the best single processor %.2f",
+				tab.Rows[i][0], tab.Rows[i][1], n2pOne, bestSingle)
+		}
+		if muOne >= bestSingle {
+			t.Errorf("%s/%s: uLayer single-input %.2f !< best single %.2f",
+				tab.Rows[i][0], tab.Rows[i][1], muOne, bestSingle)
+		}
+	}
+}
+
+func TestExtensionNPU(t *testing.T) {
+	tab, err := env.ExtensionNPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		two := parseF(r[1])
+		npu := parseF(r[2])
+		three := parseF(r[3])
+		if three >= two {
+			t.Errorf("%s: uLayer+NPU %.2f !< uLayer %.2f", r[0], three, two)
+		}
+		if three >= npu {
+			t.Errorf("%s: uLayer+NPU %.2f !< NPU-only %.2f", r[0], three, npu)
+		}
+		impr := parsePct(strings.TrimSpace(r[4]))
+		if impr <= 0 {
+			t.Errorf("%s: improvement %.1f%% must be positive", r[0], impr)
+		}
+	}
+}
+
+func TestExtensionPerChannel(t *testing.T) {
+	tab, err := env.ExtensionPerChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 20 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	dwImproved := 0
+	for _, r := range tab.Rows {
+		pt := parseF(r[2])
+		pc := parseF(r[3])
+		if pc > pt*1.0001 {
+			t.Errorf("%s: per-channel RMS %.5f worse than per-tensor %.5f", r[0], pc, pt)
+		}
+		if r[1] == "dwconv" && pc < pt*0.95 {
+			dwImproved++
+		}
+	}
+	if dwImproved < 5 {
+		t.Errorf("per-channel should clearly improve depthwise layers, only %d did", dwImproved)
+	}
+}

@@ -1,0 +1,68 @@
+package f16
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFromFloat32 cross-checks the production converter against the
+// bit-level nearest-even reference on arbitrary inputs.
+// Run with `go test -fuzz=FuzzFromFloat32 ./internal/f16` to explore; the
+// seed corpus runs in every ordinary `go test`.
+func FuzzFromFloat32(f *testing.F) {
+	seeds := []float32{
+		0, 1, -1, 65504, 65520, -65536, 5.96e-8, 2.98e-8,
+		float32(math.Inf(1)), float32(math.NaN()), 0.1, 3.14159,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, x float32) {
+		got := FromFloat32(x)
+		if math.IsNaN(float64(x)) {
+			if !got.IsNaN() {
+				t.Fatalf("NaN input produced %#04x", got)
+			}
+			return
+		}
+		want := refFromFloat64(float64(x))
+		if got != want {
+			t.Fatalf("FromFloat32(%g) = %#04x, reference %#04x", x, got, want)
+		}
+		// Decoding must round-trip: re-encoding the decoded value is a
+		// fixed point.
+		if again := FromFloat32(got.Float32()); again != got {
+			t.Fatalf("decode/encode not a fixed point: %#04x -> %#04x", got, again)
+		}
+	})
+}
+
+// FuzzArithmetic checks algebraic sanity of the software half ALU.
+func FuzzArithmetic(f *testing.F) {
+	f.Add(uint16(0x3c00), uint16(0x4000))
+	f.Add(uint16(0x0001), uint16(0x8001))
+	f.Add(uint16(0x7bff), uint16(0x7bff))
+	f.Fuzz(func(t *testing.T, a, b uint16) {
+		x, y := FromBits(a), FromBits(b)
+		if x.IsNaN() || y.IsNaN() {
+			return
+		}
+		// Commutativity (modulo signed zeros).
+		s1, s2 := Add(x, y), Add(y, x)
+		if s1 != s2 && !(s1.IsZero() && s2.IsZero()) && !(s1.IsNaN() && s2.IsNaN()) {
+			t.Fatalf("add not commutative: %#04x vs %#04x", s1, s2)
+		}
+		p1, p2 := Mul(x, y), Mul(y, x)
+		if p1 != p2 && !(p1.IsNaN() && p2.IsNaN()) {
+			t.Fatalf("mul not commutative: %#04x vs %#04x", p1, p2)
+		}
+		// Neg is an involution.
+		if x.Neg().Neg() != x {
+			t.Fatalf("neg not involutive for %#04x", a)
+		}
+		// |x| never negative.
+		if x.Abs().Signbit() {
+			t.Fatalf("abs produced a negative for %#04x", a)
+		}
+	})
+}

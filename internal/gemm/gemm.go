@@ -1,0 +1,197 @@
+// Package gemm provides the GEneralized Matrix-Multiplication kernels that
+// back μLayer's convolutional and fully-connected layers, for each of the
+// three arithmetic pipelines of the paper:
+//
+//   - F32: plain single-precision (the NN default),
+//   - F16: half-precision operands with per-element rounding of results,
+//     modeling a GPU's native half ALUs,
+//   - QUInt8: the gemmlowp integer pipeline — uint8 operands with zero
+//     points, int32 accumulation, fixed-point requantization downstream.
+//
+// All matrices are dense row-major. Kernels are cache-blocked and
+// goroutine-parallel over row panels; naive loops are kept as references
+// for differential testing.
+package gemm
+
+import (
+	"runtime"
+	"sync"
+
+	"mulayer/internal/f16"
+)
+
+// blockM is the row-panel height used to split work across goroutines.
+const blockM = 32
+
+// parallelRows runs fn over [0,m) in row panels on up to GOMAXPROCS
+// goroutines. fn must be safe to call concurrently for disjoint panels.
+func parallelRows(m int, fn func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (m+blockM-1)/blockM {
+		workers = (m + blockM - 1) / blockM
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	go func() {
+		for i := 0; i < m; i += blockM {
+			next <- i
+		}
+		close(next)
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i0 := range next {
+				i1 := i0 + blockM
+				if i1 > m {
+					i1 = m
+				}
+				fn(i0, i1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// F32 computes c = a·b for row-major a (m×k), b (k×n), c (m×n),
+// overwriting c. It is cache-blocked over k and parallel over rows.
+func F32(a, b, c []float32, m, k, n int) {
+	checkDims(len(a), len(b), len(c), m, k, n)
+	parallelRows(m, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := a[i*k : (i+1)*k]
+			for l, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// F32Ref is the textbook triple loop, used as the differential-testing
+// reference for F32.
+func F32Ref(a, b, c []float32, m, k, n int) {
+	checkDims(len(a), len(b), len(c), m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for l := 0; l < k; l++ {
+				s += a[i*k+l] * b[l*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// F16GEMM computes c = a·b over binary16 operands. Products and the running
+// sum are kept in float32 and the final element is rounded once to
+// binary16. This matches GPU half-precision kernels that accumulate dot
+// products in a wider register before writing back a half result — the
+// configuration under which the paper observes no accuracy loss for F16
+// (Figure 10).
+func F16GEMM(a, b, c []f16.F16, m, k, n int) {
+	checkDims(len(a), len(b), len(c), m, k, n)
+	parallelRows(m, func(i0, i1 int) {
+		acc := make([]float32, n)
+		for i := i0; i < i1; i++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			ai := a[i*k : (i+1)*k]
+			for l, ah := range ai {
+				av := ah.Float32()
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j, bh := range bl {
+					acc[j] += av * bh.Float32()
+				}
+			}
+			ci := c[i*n : (i+1)*n]
+			for j, s := range acc {
+				ci[j] = f16.FromFloat32(s)
+			}
+		}
+	})
+}
+
+// F16Ref is the naive reference for F16GEMM.
+func F16Ref(a, b, c []f16.F16, m, k, n int) {
+	checkDims(len(a), len(b), len(c), m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for l := 0; l < k; l++ {
+				s += a[i*k+l].Float32() * b[l*n+j].Float32()
+			}
+			c[i*n+j] = f16.FromFloat32(s)
+		}
+	}
+}
+
+// QGEMM computes the int32 accumulator matrix of the gemmlowp pipeline:
+//
+//	acc[i,j] = Σ_l (a[i,l] − za) · (b[l,j] − zb)
+//
+// for uint8 operands with zero points za and zb. The caller feeds acc
+// through a quant.Requantizer (plus bias) to obtain uint8 outputs.
+func QGEMM(a, b []uint8, acc []int32, m, k, n int, za, zb int32) {
+	checkDims(len(a), len(b), len(acc), m, k, n)
+	parallelRows(m, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ci := acc[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := a[i*k : (i+1)*k]
+			for l, au := range ai {
+				av := int32(au) - za
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j, bu := range bl {
+					ci[j] += av * (int32(bu) - zb)
+				}
+			}
+		}
+	})
+}
+
+// QGEMMRef is the naive reference for QGEMM.
+func QGEMMRef(a, b []uint8, acc []int32, m, k, n int, za, zb int32) {
+	checkDims(len(a), len(b), len(acc), m, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for l := 0; l < k; l++ {
+				s += (int32(a[i*k+l]) - za) * (int32(b[l*n+j]) - zb)
+			}
+			acc[i*n+j] = s
+		}
+	}
+}
+
+func checkDims(la, lb, lc, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		panic("gemm: non-positive dimension")
+	}
+	if la < m*k || lb < k*n || lc < m*n {
+		panic("gemm: buffer too small for dimensions")
+	}
+}

@@ -1,0 +1,321 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mulayer/internal/f16"
+)
+
+func randF32(n int, rng *rand.Rand) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+func randU8(n int, rng *rand.Rand) []uint8 {
+	s := make([]uint8, n)
+	for i := range s {
+		s[i] = uint8(rng.Intn(256))
+	}
+	return s
+}
+
+func TestF32MatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {33, 17, 40}, {64, 64, 64}, {100, 3, 1}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randF32(m*k, rng), randF32(k*n, rng)
+		got, want := make([]float32, m*n), make([]float32, m*n)
+		F32(a, b, got, m, k, n)
+		F32Ref(a, b, want, m, k, n)
+		for i := range got {
+			if d := math.Abs(float64(got[i] - want[i])); d > 1e-4 {
+				t.Fatalf("shape %v elem %d: %v vs %v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestF32OverwritesStaleOutput(t *testing.T) {
+	a := []float32{1, 2}
+	b := []float32{3, 4}
+	c := []float32{999} // stale garbage must not leak into the result
+	F32(a, b, c, 1, 2, 1)
+	if c[0] != 11 {
+		t.Fatalf("c = %v, want 11", c[0])
+	}
+}
+
+func TestF32PropertyAgainstRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(ms, ks, ns uint8) bool {
+		m, k, n := int(ms%20)+1, int(ks%20)+1, int(ns%20)+1
+		a, b := randF32(m*k, rng), randF32(k*n, rng)
+		got, want := make([]float32, m*n), make([]float32, m*n)
+		F32(a, b, got, m, k, n)
+		F32Ref(a, b, want, m, k, n)
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF16MatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range [][3]int{{1, 1, 1}, {5, 7, 3}, {40, 33, 20}} {
+		m, k, n := s[0], s[1], s[2]
+		a, b := f16.FromSlice32(randF32(m*k, rng)), f16.FromSlice32(randF32(k*n, rng))
+		got := make([]f16.F16, m*n)
+		want := make([]f16.F16, m*n)
+		F16GEMM(a, b, got, m, k, n)
+		F16Ref(a, b, want, m, k, n)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shape %v elem %d: %#04x vs %#04x", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestF16CloseToF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, k, n := 16, 32, 16
+	af := randF32(m*k, rng)
+	bf := randF32(k*n, rng)
+	a, b := f16.FromSlice32(af), f16.FromSlice32(bf)
+	hc := make([]f16.F16, m*n)
+	F16GEMM(a, b, hc, m, k, n)
+	fc := make([]float32, m*n)
+	F32Ref(af, bf, fc, m, k, n)
+	for i := range fc {
+		d := math.Abs(float64(hc[i].Float32() - fc[i]))
+		// Operand rounding error ~2^-11 per element × k terms.
+		if d > 0.05 {
+			t.Fatalf("elem %d: F16 %v vs F32 %v", i, hc[i].Float32(), fc[i])
+		}
+	}
+}
+
+func TestQGEMMMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, s := range [][3]int{{1, 1, 1}, {6, 11, 4}, {37, 64, 35}} {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randU8(m*k, rng), randU8(k*n, rng)
+		za, zb := int32(rng.Intn(256)), int32(rng.Intn(256))
+		got, want := make([]int32, m*n), make([]int32, m*n)
+		QGEMM(a, b, got, m, k, n, za, zb)
+		QGEMMRef(a, b, want, m, k, n, za, zb)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shape %v zp(%d,%d) elem %d: %d vs %d", s, za, zb, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQGEMMZeroPointIdentity(t *testing.T) {
+	// With zero points equal to the operand values, every product is 0.
+	m, k, n := 3, 4, 5
+	a := make([]uint8, m*k)
+	b := make([]uint8, k*n)
+	for i := range a {
+		a[i] = 128
+	}
+	for i := range b {
+		b[i] = 7
+	}
+	acc := make([]int32, m*n)
+	QGEMM(a, b, acc, m, k, n, 128, 7)
+	for i, v := range acc {
+		if v != 0 {
+			t.Fatalf("acc[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestQGEMMPropertyAgainstRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(ms, ks, ns, zas, zbs uint8) bool {
+		m, k, n := int(ms%16)+1, int(ks%16)+1, int(ns%16)+1
+		a, b := randU8(m*k, rng), randU8(k*n, rng)
+		got, want := make([]int32, m*n), make([]int32, m*n)
+		QGEMM(a, b, got, m, k, n, int32(zas), int32(zbs))
+		QGEMMRef(a, b, want, m, k, n, int32(zas), int32(zbs))
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionChecks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer must panic")
+		}
+	}()
+	F32(make([]float32, 3), make([]float32, 4), make([]float32, 4), 2, 2, 2)
+}
+
+func TestConvGeomOutputSizes(t *testing.T) {
+	// 224×224 input, 3×3 kernel, stride 1, pad 1 → 224×224 (VGG style).
+	g := ConvGeom{InC: 3, InH: 224, InW: 224, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	if g.OutH() != 224 || g.OutW() != 224 {
+		t.Errorf("same-pad 3x3: %dx%d", g.OutH(), g.OutW())
+	}
+	// 227×227, 11×11, stride 4, no pad → 55×55 (AlexNet conv1).
+	g = ConvGeom{InC: 3, InH: 227, InW: 227, KH: 11, KW: 11, StrideH: 4, StrideW: 4}
+	if g.OutH() != 55 || g.OutW() != 55 {
+		t.Errorf("alexnet conv1: %dx%d", g.OutH(), g.OutW())
+	}
+	if g.PatchRows() != 3*11*11 {
+		t.Errorf("patch rows %d", g.PatchRows())
+	}
+	if g.PatchCols() != 55*55 {
+		t.Errorf("patch cols %d", g.PatchCols())
+	}
+}
+
+// directConv is an im2col-free reference convolution for one batch element.
+func directConv(in []float32, g ConvGeom, w []float32, outC int) []float32 {
+	oh, ow := g.OutH(), g.OutW()
+	out := make([]float32, outC*oh*ow)
+	for oc := 0; oc < outC; oc++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var s float32
+				for c := 0; c < g.InC; c++ {
+					for kh := 0; kh < g.KH; kh++ {
+						sy := y*g.StrideH - g.PadH + kh
+						if sy < 0 || sy >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							sx := x*g.StrideW - g.PadW + kw
+							if sx < 0 || sx >= g.InW {
+								continue
+							}
+							wv := w[((oc*g.InC+c)*g.KH+kh)*g.KW+kw]
+							s += wv * in[(c*g.InH+sy)*g.InW+sx]
+						}
+					}
+				}
+				out[(oc*oh+y)*ow+x] = s
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColF32ConvEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	geoms := []ConvGeom{
+		{InC: 1, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 0, PadW: 0},
+		{InC: 3, InH: 8, InW: 8, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		{InC: 2, InH: 9, InW: 7, KH: 5, KW: 3, StrideH: 2, StrideW: 2, PadH: 2, PadW: 1},
+		{InC: 4, InH: 6, InW: 6, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+	}
+	for _, g := range geoms {
+		outC := 3
+		in := randF32(g.InC*g.InH*g.InW, rng)
+		w := randF32(outC*g.InC*g.KH*g.KW, rng)
+		patches := make([]float32, g.PatchRows()*g.PatchCols())
+		Im2ColF32(in, g, patches)
+		got := make([]float32, outC*g.PatchCols())
+		F32Ref(w, patches, got, outC, g.PatchRows(), g.PatchCols())
+		want := directConv(in, g, w, outC)
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+				t.Fatalf("geom %+v elem %d: %v vs %v", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIm2ColU8PadsWithZeroPoint(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := []uint8{10, 20, 30, 40}
+	dst := make([]uint8, g.PatchRows()*g.PatchCols())
+	const zp = 128
+	Im2ColU8(in, g, dst, zp)
+	// Top-left output position, top-left kernel tap hits padding.
+	if dst[0] != zp {
+		t.Errorf("padding tap = %d, want zero point %d", dst[0], zp)
+	}
+	// Center tap (kh=1,kw=1) row: all four outputs align with the input.
+	centerRow := dst[4*g.PatchCols() : 5*g.PatchCols()]
+	for i, want := range in {
+		if centerRow[i] != want {
+			t.Errorf("center tap out %d = %d, want %d", i, centerRow[i], want)
+		}
+	}
+}
+
+func TestIm2ColF16MatchesF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := ConvGeom{InC: 2, InH: 7, InW: 5, KH: 3, KW: 3, StrideH: 2, StrideW: 1, PadH: 1, PadW: 1}
+	inF := randF32(g.InC*g.InH*g.InW, rng)
+	inH := f16.FromSlice32(inF)
+	pf := make([]float32, g.PatchRows()*g.PatchCols())
+	ph := make([]f16.F16, g.PatchRows()*g.PatchCols())
+	Im2ColF32(inF, g, pf)
+	Im2ColF16(inH, g, ph)
+	for i := range pf {
+		if ph[i] != f16.FromFloat32(pf[i]) {
+			t.Fatalf("elem %d differs", i)
+		}
+	}
+}
+
+func BenchmarkF32GEMM128(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m, k, n := 128, 128, 128
+	a, bb := randF32(m*k, rng), randF32(k*n, rng)
+	c := make([]float32, m*n)
+	b.SetBytes(int64(m * k * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		F32(a, bb, c, m, k, n)
+	}
+}
+
+func BenchmarkQGEMM128(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m, k, n := 128, 128, 128
+	a, bb := randU8(m*k, rng), randU8(k*n, rng)
+	acc := make([]int32, m*n)
+	b.SetBytes(int64(m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QGEMM(a, bb, acc, m, k, n, 128, 128)
+	}
+}
+
+func BenchmarkF16GEMM64(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m, k, n := 64, 64, 64
+	a := f16.FromSlice32(randF32(m*k, rng))
+	bb := f16.FromSlice32(randF32(k*n, rng))
+	c := make([]f16.F16, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		F16GEMM(a, bb, c, m, k, n)
+	}
+}

@@ -1,0 +1,142 @@
+package gemm
+
+import "mulayer/internal/f16"
+
+// ConvGeom captures the geometry of one 2-D convolution for im2col
+// lowering: an (inC, inH, inW) input, kH×kW filters applied with the given
+// strides and symmetric zero padding.
+type ConvGeom struct {
+	InC, InH, InW    int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// PatchRows returns K, the number of rows of the patch matrix
+// (inC·kH·kW), which is also the width of the lowered filter matrix.
+func (g ConvGeom) PatchRows() int { return g.InC * g.KH * g.KW }
+
+// PatchCols returns N, the number of columns of the patch matrix (one per
+// output spatial position).
+func (g ConvGeom) PatchCols() int { return g.OutH() * g.OutW() }
+
+// Im2ColF32 lowers one batch element (chw layout, len = inC·inH·inW) into
+// the K×N patch matrix expected by the GEMM kernels. Out-of-bounds taps
+// contribute 0. dst must have length ≥ PatchRows()·PatchCols().
+func Im2ColF32(in []float32, g ConvGeom, dst []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := in[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				d := dst[row*n : (row+1)*n]
+				i := 0
+				for y := 0; y < oh; y++ {
+					sy := y*g.StrideH - g.PadH + kh
+					if sy < 0 || sy >= g.InH {
+						for x := 0; x < ow; x++ {
+							d[i] = 0
+							i++
+						}
+						continue
+					}
+					base := sy * g.InW
+					for x := 0; x < ow; x++ {
+						sx := x*g.StrideW - g.PadW + kw
+						if sx < 0 || sx >= g.InW {
+							d[i] = 0
+						} else {
+							d[i] = plane[base+sx]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Im2ColF16 lowers one binary16 batch element; padding taps are +0.
+func Im2ColF16(in []f16.F16, g ConvGeom, dst []f16.F16) {
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := in[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				d := dst[row*n : (row+1)*n]
+				i := 0
+				for y := 0; y < oh; y++ {
+					sy := y*g.StrideH - g.PadH + kh
+					if sy < 0 || sy >= g.InH {
+						for x := 0; x < ow; x++ {
+							d[i] = 0
+							i++
+						}
+						continue
+					}
+					base := sy * g.InW
+					for x := 0; x < ow; x++ {
+						sx := x*g.StrideW - g.PadW + kw
+						if sx < 0 || sx >= g.InW {
+							d[i] = 0
+						} else {
+							d[i] = plane[base+sx]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Im2ColU8 lowers one quantized batch element. Padding taps are filled with
+// the input zero point, which represents real 0 on the quantized grid —
+// this is why affine quantization must make 0 exactly representable.
+func Im2ColU8(in []uint8, g ConvGeom, dst []uint8, zeroPoint uint8) {
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := in[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				d := dst[row*n : (row+1)*n]
+				i := 0
+				for y := 0; y < oh; y++ {
+					sy := y*g.StrideH - g.PadH + kh
+					if sy < 0 || sy >= g.InH {
+						for x := 0; x < ow; x++ {
+							d[i] = zeroPoint
+							i++
+						}
+						continue
+					}
+					base := sy * g.InW
+					for x := 0; x < ow; x++ {
+						sx := x*g.StrideW - g.PadW + kw
+						if sx < 0 || sx >= g.InW {
+							d[i] = zeroPoint
+						} else {
+							d[i] = plane[base+sx]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

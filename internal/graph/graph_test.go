@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"testing"
+
+	"mulayer/internal/nn"
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+func conv(name string, inC, outC, k int) *nn.Conv2D {
+	return &nn.Conv2D{
+		LayerName: name, InC: inC, OutC: outC, KH: k, KW: k,
+		StrideH: 1, StrideW: 1, PadH: k / 2, PadW: k / 2, Act: quant.ActReLU,
+	}
+}
+
+// buildChain is a 3-layer linear network.
+func buildChain(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("chain")
+	in := b.Input(tensor.Shape{N: 1, C: 3, H: 16, W: 16})
+	c1 := b.Add(conv("c1", 3, 8, 3), in)
+	p1 := b.Add(&nn.Pool{LayerName: "p1", Max: true, KH: 2, KW: 2, StrideH: 2, StrideW: 2}, c1)
+	c2 := b.Add(conv("c2", 8, 16, 3), p1)
+	g, err := b.Build(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// buildInception is a 4-branch fork-join module like GoogLeNet's
+// inception(3a) (Figure 11a).
+func buildInception(t *testing.T) (*Graph, NodeID, NodeID) {
+	t.Helper()
+	b := NewBuilder("inception")
+	in := b.Input(tensor.Shape{N: 1, C: 16, H: 14, W: 14})
+	stem := b.Add(conv("stem", 16, 32, 3), in)
+	br0 := b.Add(conv("b0_1x1", 32, 16, 1), stem)
+	br1a := b.Add(conv("b1_1x1", 32, 24, 1), stem)
+	br1b := b.Add(conv("b1_3x3", 24, 32, 3), br1a)
+	br2a := b.Add(conv("b2_1x1", 32, 4, 1), stem)
+	br2b := b.Add(conv("b2_5x5", 4, 8, 5), br2a)
+	br3a := b.Add(&nn.Pool{LayerName: "b3_pool", Max: true, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}, stem)
+	br3b := b.Add(conv("b3_1x1", 32, 8, 1), br3a)
+	cat := b.Add(&nn.Concat{LayerName: "cat"}, br0, br1b, br2b, br3b)
+	g, err := b.Build(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, stem, cat
+}
+
+func TestToposortRespectsEdges(t *testing.T) {
+	g := buildChain(t)
+	order, err := g.Toposort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for i := 0; i < g.Len(); i++ {
+		n := g.Node(NodeID(i))
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n.ID] {
+				t.Fatalf("node %d before its input %d", n.ID, in)
+			}
+		}
+	}
+	if len(order) != g.Len() {
+		t.Fatal("order must cover every node")
+	}
+}
+
+func TestInferShapes(t *testing.T) {
+	g := buildChain(t)
+	shapes, err := g.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shapes[g.Output()] != (tensor.Shape{N: 1, C: 16, H: 8, W: 8}) {
+		t.Fatalf("output shape %v", shapes[g.Output()])
+	}
+	if shapes[g.Input()] != (tensor.Shape{N: 1, C: 3, H: 16, W: 16}) {
+		t.Fatalf("input shape %v", shapes[g.Input()])
+	}
+}
+
+func TestInferShapesDetectsMismatch(t *testing.T) {
+	b := NewBuilder("bad")
+	in := b.Input(tensor.Shape{N: 1, C: 3, H: 8, W: 8})
+	c := b.Add(conv("c", 4, 8, 3), in) // wrong InC
+	g, err := b.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.InferShapes(); err == nil {
+		t.Fatal("channel mismatch must surface in shape inference")
+	}
+}
+
+func TestBranchGroupsInception(t *testing.T) {
+	g, stem, cat := buildInception(t)
+	groups := g.BranchGroups()
+	if len(groups) != 1 {
+		t.Fatalf("want 1 branch group, got %d", len(groups))
+	}
+	bg := groups[0]
+	if bg.Fork != stem || bg.Join != cat {
+		t.Fatalf("fork/join = %d/%d, want %d/%d", bg.Fork, bg.Join, stem, cat)
+	}
+	if len(bg.Branches) != 4 {
+		t.Fatalf("want 4 branches, got %d", len(bg.Branches))
+	}
+	lens := map[int]int{}
+	for _, br := range bg.Branches {
+		lens[len(br)]++
+	}
+	// One 1-layer branch (1x1) and three 2-layer branches.
+	if lens[1] != 1 || lens[2] != 3 {
+		t.Fatalf("branch length histogram %v", lens)
+	}
+	// Every node appears exactly once across branches.
+	members := bg.Members()
+	if len(members) != 7 {
+		t.Fatalf("member count %d", len(members))
+	}
+}
+
+func TestBranchGroupsChainHasNone(t *testing.T) {
+	g := buildChain(t)
+	if groups := g.BranchGroups(); len(groups) != 0 {
+		t.Fatalf("linear chain must have no branch groups, got %d", len(groups))
+	}
+}
+
+func TestBranchGroupsFireModule(t *testing.T) {
+	// SqueezeNet Fire: squeeze 1x1 → {expand 1x1, expand 3x3} → concat.
+	b := NewBuilder("fire")
+	in := b.Input(tensor.Shape{N: 1, C: 16, H: 8, W: 8})
+	sq := b.Add(conv("squeeze", 16, 4, 1), in)
+	e1 := b.Add(conv("expand1", 4, 16, 1), sq)
+	e3 := b.Add(conv("expand3", 4, 16, 3), sq)
+	cat := b.Add(&nn.Concat{LayerName: "cat"}, e1, e3)
+	g, err := b.Build(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := g.BranchGroups()
+	if len(groups) != 1 {
+		t.Fatalf("want 1 group, got %d", len(groups))
+	}
+	if len(groups[0].Branches) != 2 {
+		t.Fatalf("fire module has 2 branches, got %d", len(groups[0].Branches))
+	}
+	if groups[0].Fork != sq || groups[0].Join != cat {
+		t.Fatal("fork/join")
+	}
+}
+
+func TestBranchGroupsRejectsNestedFork(t *testing.T) {
+	// A branch that itself forks is not a simple chain; the outer group
+	// must be rejected (branch distribution only handles flat groups, §5).
+	b := NewBuilder("nested")
+	in := b.Input(tensor.Shape{N: 1, C: 8, H: 8, W: 8})
+	f := b.Add(conv("f", 8, 8, 1), in)
+	l := b.Add(conv("l", 8, 8, 1), f)
+	// Right branch forks again.
+	r := b.Add(conv("r", 8, 8, 1), f)
+	r1 := b.Add(conv("r1", 8, 8, 1), r)
+	r2 := b.Add(conv("r2", 8, 8, 1), r)
+	inner := b.Add(&nn.Concat{LayerName: "inner"}, r1, r2)
+	outer := b.Add(&nn.Concat{LayerName: "outer"}, l, inner)
+	g, err := b.Build(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bg := range g.BranchGroups() {
+		if bg.Fork == f {
+			t.Fatal("outer fork with nested fork must not form a group")
+		}
+	}
+	// The inner fork is a valid group.
+	found := false
+	for _, bg := range g.BranchGroups() {
+		if bg.Fork == r && bg.Join == inner {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inner group should be detected")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("e1")
+	b.Add(conv("c", 3, 4, 1), 0) // Add before Input
+	if _, err := b.Build(0); err == nil {
+		t.Error("Add before Input must fail Build")
+	}
+
+	b2 := NewBuilder("e2")
+	in := b2.Input(tensor.Shape{N: 1, C: 3, H: 4, W: 4})
+	b2.Add(conv("c", 3, 4, 1), NodeID(99))
+	if _, err := b2.Build(in); err == nil {
+		t.Error("unknown input reference must fail Build")
+	}
+
+	b3 := NewBuilder("e3")
+	in3 := b3.Input(tensor.Shape{N: 1, C: 3, H: 4, W: 4})
+	if _, err := b3.Build(in3 + 5); err == nil {
+		t.Error("unknown output must fail Build")
+	}
+
+	b4 := NewBuilder("e4")
+	in4 := b4.Input(tensor.Shape{N: 1, C: 3, H: 4, W: 4})
+	if _, err := b4.Build(in4); err != nil {
+		t.Errorf("input-only graph should build: %v", err)
+	}
+	if _, err := b4.Build(in4); err == nil {
+		t.Error("double Build must fail")
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	g, stem, _ := buildInception(t)
+	if len(g.Consumers(stem)) != 4 {
+		t.Fatalf("stem consumers = %d, want 4", len(g.Consumers(stem)))
+	}
+	if len(g.Consumers(g.Output())) != 0 {
+		t.Fatal("output has no consumers")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	g := buildChain(t)
+	c, err := g.TotalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1: 8·16·16·3·3·3 MACs; p1: 8·8·8·4; c2: 16·8·8·8·3·3.
+	want := int64(8*16*16*27 + 8*8*8*4 + 16*8*8*72)
+	if c.MACs != want {
+		t.Fatalf("total MACs = %d, want %d", c.MACs, want)
+	}
+}
+
+func TestInputShapesHelper(t *testing.T) {
+	g := buildChain(t)
+	shapes, _ := g.InferShapes()
+	ins := g.InputShapes(NodeID(1), shapes) // c1 consumes the input node
+	if len(ins) != 1 || ins[0] != (tensor.Shape{N: 1, C: 3, H: 16, W: 16}) {
+		t.Fatalf("ins = %v", ins)
+	}
+}

@@ -1,0 +1,228 @@
+// Package models builds the five networks the paper evaluates (Table 1) —
+// GoogLeNet, SqueezeNet v1.1, VGG-16, AlexNet, and MobileNet v1 — plus
+// LeNet-5 (Figure 1), as μLayer graphs.
+//
+// The paper uses ImageNet-pretrained weights; this reproduction has no
+// weight files, so the zoo synthesizes deterministic pseudo-random weights
+// (He-style initialization, SplitMix64-seeded) that produce well-behaved
+// activations. Each builder supports two modes:
+//
+//   - spec-only (Config.Numeric=false): full-size layer descriptors with
+//     no weight storage, used by the latency/energy experiments, which are
+//     driven entirely by the analytic cost model;
+//   - numeric (Config.Numeric=true): weights allocated, typically with a
+//     reduced input resolution and channel width so pure-Go kernels finish
+//     quickly; used by correctness tests, examples, and the Figure 10
+//     accuracy substitution.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"mulayer/internal/graph"
+	"mulayer/internal/nn"
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+// Config selects the model variant.
+type Config struct {
+	// Numeric allocates weights; spec-only models cannot run numerically.
+	Numeric bool
+	// InputHW overrides the input resolution (0 keeps the paper default).
+	InputHW int
+	// WidthScale multiplies every channel count (0 or 1 keeps defaults).
+	WidthScale float64
+	// Classes overrides the classifier width (0 keeps the default, 1000
+	// for the ImageNet networks).
+	Classes int
+	// PerChannelWeights quantizes convolution weights with per-output-
+	// channel symmetric grids instead of per-tensor grids — the standard
+	// production refinement for depthwise layers (extension; the paper's
+	// gemmlowp scheme is per-tensor).
+	PerChannelWeights bool
+	// NoSoftmax drops the final softmax layer so the network outputs raw
+	// logits. The accuracy experiments score logits directly: quantizing a
+	// near-uniform softmax distribution onto the 8-bit grid collapses the
+	// class ordering, which would measure the output grid rather than the
+	// arithmetic pipelines.
+	NoSoftmax bool
+	// Seed varies the synthesized weights.
+	Seed uint64
+}
+
+func (c Config) widthScale() float64 {
+	if c.WidthScale <= 0 {
+		return 1
+	}
+	return c.WidthScale
+}
+
+// Model couples a graph with its quantization metadata.
+type Model struct {
+	Name       string
+	Graph      *graph.Graph
+	InputShape tensor.Shape
+	// InputParams is the input activation grid (set by calibration).
+	InputParams quant.Params
+	// Calibrated is true once activation ranges have been installed.
+	Calibrated bool
+	// SpecOnly marks models without weights.
+	SpecOnly bool
+	// HasBranches marks networks with divergent branches, the Table 1
+	// "branch distribution applicable" column.
+	HasBranches bool
+}
+
+// builder wraps graph.Builder with shape tracking and weight synthesis.
+type builder struct {
+	b      *graph.Builder
+	cfg    Config
+	shapes map[graph.NodeID]tensor.Shape
+	seed   uint64
+	nextID int
+}
+
+func newBuilder(name string, cfg Config) *builder {
+	return &builder{
+		b:      graph.NewBuilder(name),
+		cfg:    cfg,
+		shapes: make(map[graph.NodeID]tensor.Shape),
+		seed:   cfg.Seed*1e9 + 17,
+	}
+}
+
+func (m *builder) nextSeed() uint64 {
+	m.nextID++
+	return m.seed + uint64(m.nextID)*0x9e3779b9
+}
+
+// sc scales a channel count by the width multiplier.
+func (m *builder) sc(c int) int {
+	s := int(math.Round(float64(c) * m.cfg.widthScale()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (m *builder) input(s tensor.Shape) graph.NodeID {
+	id := m.b.Input(s)
+	m.shapes[id] = s
+	return id
+}
+
+func (m *builder) add(layer nn.Layer, inputs ...graph.NodeID) graph.NodeID {
+	ins := make([]tensor.Shape, len(inputs))
+	for i, in := range inputs {
+		ins[i] = m.shapes[in]
+	}
+	out, err := layer.OutShape(ins)
+	if err != nil {
+		panic(fmt.Sprintf("models: %v", err))
+	}
+	id := m.b.Add(layer, inputs...)
+	m.shapes[id] = out
+	return id
+}
+
+// conv adds a convolution (already channel-scaled counts) with fused
+// activation and optional He-initialized weights.
+func (m *builder) conv(name string, in graph.NodeID, outC, k, stride, pad, groups int, act quant.Activation) graph.NodeID {
+	inC := m.shapes[in].C
+	if groups == 0 {
+		groups = 1
+	}
+	l := &nn.Conv2D{
+		LayerName: name, InC: inC, OutC: outC, KH: k, KW: k,
+		StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+		Groups: groups, Act: act, PerChannelW: m.cfg.PerChannelWeights,
+	}
+	if m.cfg.Numeric {
+		icg := inC / groups
+		fanIn := icg * k * k
+		w := tensor.New(tensor.Shape{N: outC, C: icg, H: k, W: k})
+		w.FillRandom(m.nextSeed(), float32(math.Sqrt(6/float64(fanIn))))
+		l.W = w
+		l.Bias = make([]float32, outC) // zero biases
+	}
+	return m.add(l, in)
+}
+
+// dwconv adds a depthwise convolution.
+func (m *builder) dwconv(name string, in graph.NodeID, k, stride, pad int, act quant.Activation) graph.NodeID {
+	c := m.shapes[in].C
+	return m.convGrouped(name, in, c, k, stride, pad, c, act)
+}
+
+func (m *builder) convGrouped(name string, in graph.NodeID, outC, k, stride, pad, groups int, act quant.Activation) graph.NodeID {
+	return m.conv(name, in, outC, k, stride, pad, groups, act)
+}
+
+// fc adds a fully-connected layer over the flattened current shape.
+func (m *builder) fc(name string, in graph.NodeID, outC int, act quant.Activation) graph.NodeID {
+	s := m.shapes[in]
+	feat := s.C * s.H * s.W
+	l := &nn.FullyConnected{LayerName: name, InFeatures: feat, OutC: outC, Act: act}
+	if m.cfg.Numeric {
+		w := tensor.New(tensor.Shape{N: outC, C: feat, H: 1, W: 1})
+		w.FillRandom(m.nextSeed(), float32(math.Sqrt(6/float64(feat))))
+		l.W = w
+		l.Bias = make([]float32, outC)
+	}
+	return m.add(l, in)
+}
+
+func (m *builder) maxPool(name string, in graph.NodeID, k, stride, pad int) graph.NodeID {
+	return m.add(&nn.Pool{LayerName: name, Max: true, KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}, in)
+}
+
+func (m *builder) globalAvgPool(name string, in graph.NodeID) graph.NodeID {
+	return m.add(&nn.Pool{LayerName: name, Global: true}, in)
+}
+
+func (m *builder) lrn(name string, in graph.NodeID) graph.NodeID {
+	return m.add(&nn.LRN{LayerName: name, Size: 5, K: 2, Alpha: 1e-4, Beta: 0.75}, in)
+}
+
+func (m *builder) concat(name string, ins ...graph.NodeID) graph.NodeID {
+	return m.add(&nn.Concat{LayerName: name}, ins...)
+}
+
+func (m *builder) softmax(name string, in graph.NodeID) graph.NodeID {
+	if m.cfg.NoSoftmax {
+		return in
+	}
+	return m.add(&nn.Softmax{LayerName: name}, in)
+}
+
+func (m *builder) finish(name string, out graph.NodeID, inputShape tensor.Shape, hasBranches bool) (*Model, error) {
+	g, err := m.b.Build(out)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Name:        name,
+		Graph:       g,
+		InputShape:  inputShape,
+		SpecOnly:    !m.cfg.Numeric,
+		HasBranches: hasBranches,
+	}, nil
+}
+
+// classes resolves the classifier width.
+func (c Config) classes(def int) int {
+	if c.Classes > 0 {
+		return c.Classes
+	}
+	return def
+}
+
+// inputHW resolves the input resolution.
+func (c Config) inputHW(def int) int {
+	if c.InputHW > 0 {
+		return c.InputHW
+	}
+	return def
+}

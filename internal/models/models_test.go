@@ -1,0 +1,304 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"mulayer/internal/graph"
+	"mulayer/internal/nn"
+	"mulayer/internal/tensor"
+)
+
+// smallCfg is the reduced numeric configuration used across the tests.
+var smallCfg = Config{Numeric: true, InputHW: 32, WidthScale: 0.25, Classes: 10, Seed: 1}
+
+func calInputs(shape tensor.Shape, n int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		t := tensor.New(shape)
+		t.FillRandom(uint64(1000+i), 1)
+		out[i] = t
+	}
+	return out
+}
+
+func TestSpecOnlyFullSizeShapes(t *testing.T) {
+	cases := []struct {
+		build   func(Config) (*Model, error)
+		classes int
+		macsLo  float64 // expected full-size MACs (known values ±20%)
+		macsHi  float64
+	}{
+		{GoogLeNet, 1000, 1.3e9, 2.1e9},      // ~1.6 GMACs
+		{SqueezeNetV11, 1000, 0.25e9, 0.6e9}, // ~0.39 GMACs
+		{VGG16, 1000, 13e9, 18e9},            // ~15.5 GMACs
+		{AlexNet, 1000, 0.55e9, 1.0e9},       // ~0.72 GMACs
+		{MobileNetV1, 1000, 0.45e9, 0.75e9},  // ~0.57 GMACs
+	}
+	for _, c := range cases {
+		m, err := c.build(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.SpecOnly {
+			t.Errorf("%s: default build must be spec-only", m.Name)
+		}
+		shapes, err := m.Graph.InferShapes()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		out := shapes[m.Graph.Output()]
+		if out.C != c.classes || out.H != 1 || out.W != 1 {
+			t.Errorf("%s: output shape %v", m.Name, out)
+		}
+		cost, err := m.Graph.TotalCost()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(cost.MACs) < c.macsLo || float64(cost.MACs) > c.macsHi {
+			t.Errorf("%s: %0.2f GMACs outside [%g, %g]", m.Name, float64(cost.MACs)/1e9, c.macsLo/1e9, c.macsHi/1e9)
+		}
+	}
+}
+
+func TestVGG16LayerCount(t *testing.T) {
+	m, _ := VGG16(Config{})
+	// 13 convs + 5 pools + 3 fc + softmax + input = 23.
+	if m.Graph.Len() != 23 {
+		t.Fatalf("VGG-16 nodes = %d, want 23", m.Graph.Len())
+	}
+}
+
+func TestGoogLeNetBranchStructure(t *testing.T) {
+	m, _ := GoogLeNet(Config{})
+	if !m.HasBranches {
+		t.Fatal("GoogLeNet must be branch-applicable (Table 1)")
+	}
+	groups := m.Graph.BranchGroups()
+	if len(groups) != 9 {
+		t.Fatalf("GoogLeNet has 9 inception modules, found %d groups", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Branches) != 4 {
+			t.Fatalf("inception module with %d branches", len(g.Branches))
+		}
+	}
+}
+
+func TestSqueezeNetBranchStructure(t *testing.T) {
+	m, _ := SqueezeNetV11(Config{})
+	groups := m.Graph.BranchGroups()
+	if len(groups) != 8 {
+		t.Fatalf("SqueezeNet v1.1 has 8 fire modules, found %d groups", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Branches) != 2 {
+			t.Fatalf("fire module with %d branches", len(g.Branches))
+		}
+	}
+}
+
+func TestNonBranchModelsHaveNoGroups(t *testing.T) {
+	for _, build := range []func(Config) (*Model, error){VGG16, AlexNet, MobileNetV1, LeNet5} {
+		m, _ := build(Config{})
+		if m.HasBranches {
+			t.Errorf("%s must not be branch-applicable", m.Name)
+		}
+		if len(m.Graph.BranchGroups()) != 0 {
+			t.Errorf("%s: unexpected branch groups", m.Name)
+		}
+	}
+}
+
+func TestGoogLeNetInceptionOutputChannels(t *testing.T) {
+	m, _ := GoogLeNet(Config{})
+	shapes, _ := m.Graph.InferShapes()
+	// inception_3a output: 64+128+32+32 = 256 channels at 28×28.
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		if n.Layer.Name() == "inception_3a/output" {
+			s := shapes[n.ID]
+			if s.C != 256 || s.H != 28 || s.W != 28 {
+				t.Fatalf("inception_3a output %v, want 256x28x28", s)
+			}
+			return
+		}
+	}
+	t.Fatal("inception_3a/output not found")
+}
+
+func TestMobileNetDepthwiseLayers(t *testing.T) {
+	m, _ := MobileNetV1(Config{})
+	dw := 0
+	for i := 0; i < m.Graph.Len(); i++ {
+		if m.Graph.Node(graph.NodeID(i)).Layer.Kind() == nn.OpDepthwise {
+			dw++
+		}
+	}
+	if dw != 13 {
+		t.Fatalf("MobileNet has 13 depthwise layers, found %d", dw)
+	}
+}
+
+func TestEvaluatedOrder(t *testing.T) {
+	ms, err := Evaluated(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GoogLeNet", "SqueezeNet v1.1", "VGG-16", "AlexNet", "MobileNet v1"}
+	if len(ms) != len(want) {
+		t.Fatalf("count %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.Name != want[i] {
+			t.Errorf("slot %d: %s, want %s", i, m.Name, want[i])
+		}
+	}
+}
+
+func TestNumericRunF32AllModels(t *testing.T) {
+	type entry struct {
+		build func(Config) (*Model, error)
+		cfg   Config
+	}
+	builders := []entry{
+		{LeNet5, smallCfg},
+		// AlexNet's stride-4 stem needs a larger input to survive its
+		// three pooling stages.
+		{AlexNet, Config{Numeric: true, InputHW: 67, WidthScale: 0.25, Classes: 10, Seed: 1}},
+		{VGG16, smallCfg},
+		{GoogLeNet, smallCfg},
+		{SqueezeNetV11, smallCfg},
+		{MobileNetV1, smallCfg},
+	}
+	for _, e := range builders {
+		m, err := e.build(e.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.New(m.InputShape)
+		in.FillRandom(7, 1)
+		vals, err := m.RunF32(in)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		out := vals[m.Graph.Output()]
+		var sum float64
+		for _, v := range out.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite output", m.Name)
+			}
+			sum += float64(v)
+		}
+		// Softmax output sums to ~1 per batch element.
+		if math.Abs(sum-float64(out.Shape.N)) > 1e-3 {
+			t.Fatalf("%s: softmax sum %v", m.Name, sum)
+		}
+	}
+}
+
+func TestSpecOnlyRunFails(t *testing.T) {
+	m, _ := VGG16(Config{})
+	in := tensor.New(m.InputShape)
+	if _, err := m.RunF32(in); err == nil {
+		t.Fatal("spec-only run must fail")
+	}
+	if err := m.CalibrateNaive(); err == nil {
+		t.Fatal("spec-only naive calibration must fail")
+	}
+}
+
+func TestCalibrateInstallsAllLayers(t *testing.T) {
+	m, err := GoogLeNet(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(calInputs(m.InputShape, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Calibrated {
+		t.Fatal("flag")
+	}
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		if n.Layer.Kind() == nn.OpInput {
+			continue
+		}
+		qi := n.Layer.Quant()
+		if qi == nil || !qi.Ready {
+			t.Fatalf("layer %s not calibrated", n.Layer.Name())
+		}
+		if qi.Out.Scale <= 0 {
+			t.Fatalf("layer %s has bad scale", n.Layer.Name())
+		}
+	}
+	if m.InputParams.Scale <= 0 {
+		t.Fatal("input params not set")
+	}
+}
+
+func TestCalibrateRequiresInputs(t *testing.T) {
+	m, _ := LeNet5(smallCfg)
+	if err := m.Calibrate(nil); err == nil {
+		t.Fatal("empty calibration set must fail")
+	}
+}
+
+func TestNaiveBoundsExceedObserved(t *testing.T) {
+	// The analytic worst-case bound must be (much) looser than observed
+	// ranges — that's the mechanism behind the Figure 10 accuracy gap.
+	mA, _ := LeNet5(smallCfg)
+	if err := mA.Calibrate(calInputs(mA.InputShape, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mB, _ := LeNet5(smallCfg)
+	if err := mB.CalibrateNaive(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare the scales on the last FC layer.
+	var obsScale, naiveScale float32
+	for i := 0; i < mA.Graph.Len(); i++ {
+		n := mA.Graph.Node(graph.NodeID(i))
+		if n.Layer.Name() == "fc3" {
+			obsScale = n.Layer.Quant().Out.Scale
+		}
+	}
+	for i := 0; i < mB.Graph.Len(); i++ {
+		n := mB.Graph.Node(graph.NodeID(i))
+		if n.Layer.Name() == "fc3" {
+			naiveScale = n.Layer.Quant().Out.Scale
+		}
+	}
+	if naiveScale <= obsScale*2 {
+		t.Fatalf("naive scale %v not clearly coarser than observed %v", naiveScale, obsScale)
+	}
+}
+
+func TestWeightDeterminism(t *testing.T) {
+	a, _ := LeNet5(smallCfg)
+	b, _ := LeNet5(smallCfg)
+	in := tensor.New(a.InputShape)
+	in.FillRandom(3, 1)
+	va, _ := a.RunF32(in)
+	vb, _ := b.RunF32(in)
+	if va[a.Graph.Output()].MaxAbsDiff(vb[b.Graph.Output()]) != 0 {
+		t.Fatal("same config+seed must give identical networks")
+	}
+	c, _ := LeNet5(Config{Numeric: true, InputHW: 32, WidthScale: 0.25, Classes: 10, Seed: 2})
+	vc, _ := c.RunF32(in)
+	if va[a.Graph.Output()].MaxAbsDiff(vc[c.Graph.Output()]) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWidthScaleReducesCost(t *testing.T) {
+	full, _ := VGG16(Config{})
+	quarter, _ := VGG16(Config{WidthScale: 0.25})
+	cf, _ := full.Graph.TotalCost()
+	cq, _ := quarter.Graph.TotalCost()
+	ratio := float64(cf.MACs) / float64(cq.MACs)
+	// Channel scaling on both sides of each conv ≈ 16× fewer MACs.
+	if ratio < 10 || ratio > 22 {
+		t.Fatalf("quarter-width MAC ratio %v", ratio)
+	}
+}

@@ -1,0 +1,146 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"mulayer/internal/graph"
+	"mulayer/internal/nn"
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+func TestResNet18FullSizeShapes(t *testing.T) {
+	m, err := ResNet18(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := m.Graph.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := shapes[m.Graph.Output()]
+	if out.C != 1000 || out.H != 1 || out.W != 1 {
+		t.Fatalf("output %v", out)
+	}
+	cost, err := m.Graph.TotalCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ResNet-18 is ~1.8 GMACs at 224².
+	if g := float64(cost.MACs) / 1e9; g < 1.5 || g > 2.2 {
+		t.Fatalf("ResNet-18 MACs %.2fG outside [1.5, 2.2]", g)
+	}
+	adds, projs := 0, 0
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		if n.Layer.Kind() == nn.OpAdd {
+			adds++
+		}
+		if c, ok := n.Layer.(*nn.Conv2D); ok && c.KH == 1 && c.StrideH == 2 {
+			projs++
+		}
+	}
+	if adds != 8 {
+		t.Fatalf("8 residual adds expected, got %d", adds)
+	}
+	if projs != 3 {
+		t.Fatalf("3 projection shortcuts expected, got %d", projs)
+	}
+}
+
+func TestResNet18NumericAndCalibration(t *testing.T) {
+	m, err := ResNet18(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(m.InputShape)
+	in.FillRandom(17, 1)
+	vals, err := m.RunF32(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vals[m.Graph.Output()]
+	var sum float64
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite output")
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	if err := m.Calibrate(calInputs(m.InputShape, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		if n.Layer.Kind() == nn.OpInput {
+			continue
+		}
+		if qi := n.Layer.Quant(); qi == nil || !qi.Ready {
+			t.Fatalf("layer %s not calibrated", n.Layer.Name())
+		}
+	}
+}
+
+func TestResNetResidualsAreNotBranchGroups(t *testing.T) {
+	// Residual forks have an empty identity branch, which branch
+	// distribution cannot represent (§5's groups are layer chains); the
+	// detector must skip them rather than misclassify.
+	m, _ := ResNet18(Config{})
+	for _, bg := range m.Graph.BranchGroups() {
+		for _, br := range bg.Branches {
+			if len(br) == 0 {
+				t.Fatal("empty branch leaked into a group")
+			}
+		}
+	}
+}
+
+func TestAddLayerQuantizedPath(t *testing.T) {
+	m, err := ResNet18(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(calInputs(m.InputShape, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Find a residual add and run its Q path against the F32 reference.
+	in := tensor.New(m.InputShape)
+	in.FillRandom(23, 1)
+	vals, err := m.RunF32(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, _ := m.Graph.InferShapes()
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		add, ok := n.Layer.(*nn.Add)
+		if !ok {
+			continue
+		}
+		// Grids drawn from the exact tensors in play, so the only error is
+		// quantization rounding (calibration-range clipping on unseen
+		// inputs is a separate, expected effect).
+		aID, bID := n.Inputs[0], n.Inputs[1]
+		aMin, aMax := vals[aID].Range()
+		bMin, bMax := vals[bID].Range()
+		oMin, oMax := vals[n.ID].Range()
+		aP := quant.ChooseParams(aMin, aMax)
+		bP := quant.ChooseParams(bMin, bMax)
+		oP := quant.ChooseParams(oMin, oMax)
+		qa := tensor.Quantize(vals[aID], aP)
+		qb := tensor.Quantize(vals[bID], bP)
+		qout := tensor.NewQ(shapes[n.ID], oP)
+		add.ForwardQ([]*tensor.QTensor{qa, qb}, qout, 0, shapes[n.ID].C)
+		deq := tensor.Dequantize(qout)
+		tol := float64(oP.Scale+aP.Scale+bP.Scale) * 0.75
+		if d := deq.MaxAbsDiff(vals[n.ID]); d > tol {
+			t.Fatalf("%s: quantized add error %v > %v", add.LayerName, d, tol)
+		}
+		return // one residual is enough
+	}
+	t.Fatal("no Add layer found")
+}

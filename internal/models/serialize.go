@@ -1,0 +1,284 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mulayer/internal/graph"
+	"mulayer/internal/nn"
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+// Model serialization: Save writes a numeric model — graph structure,
+// weights, and calibration state — in a self-contained gob stream; Load
+// reconstructs it, rebuilding the quantized weight caches from the
+// calibrated grids. This is the persistence story a deployed runtime
+// needs: calibrate once, ship the artifact, load on device.
+
+// savedModel is the on-disk representation (gob-encoded).
+type savedModel struct {
+	Version     int
+	Name        string
+	GraphName   string
+	InputShape  tensor.Shape
+	InputParams quant.Params
+	Calibrated  bool
+	HasBranches bool
+	Output      graph.NodeID
+	Nodes       []savedNode
+}
+
+const saveVersion = 1
+
+// savedNode captures one layer; exactly one of the payload pointers is
+// set, mirroring the layer's concrete type.
+type savedNode struct {
+	Inputs  []graph.NodeID
+	Input   *savedInput
+	Conv    *savedConv
+	FC      *savedFC
+	Pool    *savedPool
+	ReLU    *savedSimple
+	LRN     *savedLRN
+	Concat  *savedSimple
+	Softmax *savedSimple
+	Add     *savedAdd
+}
+
+type savedAdd struct {
+	Name string
+	Act  quant.Activation
+	Q    savedQuant
+}
+
+type savedInput struct {
+	Name  string
+	Shape tensor.Shape
+}
+
+type savedQuant struct {
+	In, Out quant.Params
+	Ready   bool
+}
+
+type savedConv struct {
+	Name             string
+	InC, OutC        int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Groups           int
+	Act              quant.Activation
+	PerChannel       bool
+	WShape           tensor.Shape
+	W                []float32
+	Bias             []float32
+	Q                savedQuant
+}
+
+type savedFC struct {
+	Name       string
+	InFeatures int
+	OutC       int
+	Act        quant.Activation
+	WShape     tensor.Shape
+	W          []float32
+	Bias       []float32
+	Q          savedQuant
+}
+
+type savedPool struct {
+	Name             string
+	Max              bool
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Global           bool
+	CountIncludePad  bool
+	Q                savedQuant
+}
+
+type savedLRN struct {
+	Name           string
+	Size           int
+	K, Alpha, Beta float32
+	Q              savedQuant
+}
+
+type savedSimple struct {
+	Name string
+	Q    savedQuant
+}
+
+func toSavedQuant(qi nn.QuantInfo) savedQuant {
+	return savedQuant{In: qi.In, Out: qi.Out, Ready: qi.Ready}
+}
+
+// Save serializes a numeric model. Spec-only models have no weights to
+// persist and are rejected.
+func (m *Model) Save(w io.Writer) error {
+	if m.SpecOnly {
+		return fmt.Errorf("models: cannot save spec-only model %s", m.Name)
+	}
+	sm := savedModel{
+		Version:     saveVersion,
+		Name:        m.Name,
+		GraphName:   m.Graph.Name,
+		InputShape:  m.InputShape,
+		InputParams: m.InputParams,
+		Calibrated:  m.Calibrated,
+		HasBranches: m.HasBranches,
+		Output:      m.Graph.Output(),
+	}
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		sn := savedNode{Inputs: append([]graph.NodeID(nil), n.Inputs...)}
+		switch l := n.Layer.(type) {
+		case *nn.Input:
+			sn.Input = &savedInput{Name: l.LayerName, Shape: l.Shape}
+		case *nn.Conv2D:
+			sn.Conv = &savedConv{
+				Name: l.LayerName, InC: l.InC, OutC: l.OutC, KH: l.KH, KW: l.KW,
+				StrideH: l.StrideH, StrideW: l.StrideW, PadH: l.PadH, PadW: l.PadW,
+				Groups: l.Groups, Act: l.Act, PerChannel: l.PerChannelW,
+				WShape: l.W.Shape, W: l.W.Data, Bias: l.Bias, Q: toSavedQuant(l.QI),
+			}
+		case *nn.FullyConnected:
+			sn.FC = &savedFC{
+				Name: l.LayerName, InFeatures: l.InFeatures, OutC: l.OutC, Act: l.Act,
+				WShape: l.W.Shape, W: l.W.Data, Bias: l.Bias, Q: toSavedQuant(l.QI),
+			}
+		case *nn.Pool:
+			sn.Pool = &savedPool{
+				Name: l.LayerName, Max: l.Max, KH: l.KH, KW: l.KW,
+				StrideH: l.StrideH, StrideW: l.StrideW, PadH: l.PadH, PadW: l.PadW,
+				Global: l.Global, CountIncludePad: l.CountIncludePad, Q: toSavedQuant(l.QI),
+			}
+		case *nn.ReLU:
+			sn.ReLU = &savedSimple{Name: l.LayerName, Q: toSavedQuant(l.QI)}
+		case *nn.LRN:
+			sn.LRN = &savedLRN{Name: l.LayerName, Size: l.Size, K: l.K, Alpha: l.Alpha, Beta: l.Beta, Q: toSavedQuant(l.QI)}
+		case *nn.Concat:
+			sn.Concat = &savedSimple{Name: l.LayerName, Q: toSavedQuant(l.QI)}
+		case *nn.Softmax:
+			sn.Softmax = &savedSimple{Name: l.LayerName, Q: toSavedQuant(l.QI)}
+		case *nn.Add:
+			sn.Add = &savedAdd{Name: l.LayerName, Act: l.Act, Q: toSavedQuant(l.QI)}
+		default:
+			return fmt.Errorf("models: cannot serialize layer type %T", n.Layer)
+		}
+		sm.Nodes = append(sm.Nodes, sn)
+	}
+	return gob.NewEncoder(w).Encode(&sm)
+}
+
+// Load reconstructs a model saved by Save, rebuilding the integer weight
+// caches of calibrated layers so the loaded model is immediately runnable
+// under every pipeline.
+func Load(r io.Reader) (*Model, error) {
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("models: decoding: %w", err)
+	}
+	if sm.Version != saveVersion {
+		return nil, fmt.Errorf("models: unsupported save version %d (want %d)", sm.Version, saveVersion)
+	}
+	b := graph.NewBuilder(sm.GraphName)
+	for i, sn := range sm.Nodes {
+		layer, isInput, err := rebuildLayer(sn)
+		if err != nil {
+			return nil, fmt.Errorf("models: node %d: %w", i, err)
+		}
+		if isInput {
+			if got := b.Input(sn.Input.Shape); got != graph.NodeID(i) {
+				return nil, fmt.Errorf("models: input node moved to %d", got)
+			}
+			continue
+		}
+		if got := b.Add(layer, sn.Inputs...); got != graph.NodeID(i) {
+			return nil, fmt.Errorf("models: node renumbered to %d", got)
+		}
+	}
+	g, err := b.Build(sm.Output)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Name:        sm.Name,
+		Graph:       g,
+		InputShape:  sm.InputShape,
+		InputParams: sm.InputParams,
+		Calibrated:  sm.Calibrated,
+		HasBranches: sm.HasBranches,
+	}
+	if _, err := g.InferShapes(); err != nil {
+		return nil, fmt.Errorf("models: loaded graph is inconsistent: %w", err)
+	}
+	return m, nil
+}
+
+// rebuildLayer reconstructs one layer (and its caches when calibrated).
+func rebuildLayer(sn savedNode) (nn.Layer, bool, error) {
+	restore := func(q savedQuant, qi *nn.QuantInfo) {
+		qi.In, qi.Out, qi.Ready = q.In, q.Out, q.Ready
+	}
+	switch {
+	case sn.Input != nil:
+		return nil, true, nil
+	case sn.Conv != nil:
+		c := sn.Conv
+		l := &nn.Conv2D{
+			LayerName: c.Name, InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW,
+			StrideH: c.StrideH, StrideW: c.StrideW, PadH: c.PadH, PadW: c.PadW,
+			Groups: c.Groups, Act: c.Act, PerChannelW: c.PerChannel,
+			W: tensor.NewFrom(c.WShape, c.W), Bias: c.Bias,
+		}
+		if c.Q.Ready {
+			l.SetQuant(c.Q.In, c.Q.Out) // rebuilds wq/biasQ/half caches
+		}
+		return l, false, nil
+	case sn.FC != nil:
+		f := sn.FC
+		l := &nn.FullyConnected{
+			LayerName: f.Name, InFeatures: f.InFeatures, OutC: f.OutC, Act: f.Act,
+			W: tensor.NewFrom(f.WShape, f.W), Bias: f.Bias,
+		}
+		if f.Q.Ready {
+			l.SetQuant(f.Q.In, f.Q.Out)
+		}
+		return l, false, nil
+	case sn.Pool != nil:
+		p := sn.Pool
+		l := &nn.Pool{
+			LayerName: p.Name, Max: p.Max, KH: p.KH, KW: p.KW,
+			StrideH: p.StrideH, StrideW: p.StrideW, PadH: p.PadH, PadW: p.PadW,
+			Global: p.Global, CountIncludePad: p.CountIncludePad,
+		}
+		restore(p.Q, &l.QI)
+		return l, false, nil
+	case sn.ReLU != nil:
+		l := &nn.ReLU{LayerName: sn.ReLU.Name}
+		restore(sn.ReLU.Q, &l.QI)
+		return l, false, nil
+	case sn.LRN != nil:
+		d := sn.LRN
+		l := &nn.LRN{LayerName: d.Name, Size: d.Size, K: d.K, Alpha: d.Alpha, Beta: d.Beta}
+		restore(d.Q, &l.QI)
+		return l, false, nil
+	case sn.Concat != nil:
+		l := &nn.Concat{LayerName: sn.Concat.Name}
+		restore(sn.Concat.Q, &l.QI)
+		return l, false, nil
+	case sn.Softmax != nil:
+		l := &nn.Softmax{LayerName: sn.Softmax.Name}
+		restore(sn.Softmax.Q, &l.QI)
+		return l, false, nil
+	case sn.Add != nil:
+		l := &nn.Add{LayerName: sn.Add.Name, Act: sn.Add.Act}
+		restore(sn.Add.Q, &l.QI)
+		return l, false, nil
+	}
+	return nil, false, fmt.Errorf("empty node payload")
+}

@@ -1,0 +1,116 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"mulayer/internal/tensor"
+)
+
+func TestSaveLoadRoundTripNumerics(t *testing.T) {
+	// A calibrated model must survive save/load with bit-identical
+	// behavior under every pipeline.
+	builders := []func(Config) (*Model, error){LeNet5, GoogLeNet, SqueezeNetV11, MobileNetV1}
+	for _, build := range builders {
+		orig, err := build(smallCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.Calibrate(calInputs(orig.InputShape, 2)); err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", orig.Name, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", orig.Name, err)
+		}
+
+		if loaded.Name != orig.Name || loaded.InputShape != orig.InputShape {
+			t.Fatalf("%s: metadata changed", orig.Name)
+		}
+		if loaded.InputParams != orig.InputParams || !loaded.Calibrated {
+			t.Fatalf("%s: calibration state lost", orig.Name)
+		}
+		if loaded.HasBranches != orig.HasBranches {
+			t.Fatalf("%s: branch flag lost", orig.Name)
+		}
+		if loaded.Graph.Len() != orig.Graph.Len() {
+			t.Fatalf("%s: node count %d vs %d", orig.Name, loaded.Graph.Len(), orig.Graph.Len())
+		}
+
+		in := tensor.New(orig.InputShape)
+		in.FillRandom(777, 1)
+		a, err := orig.RunF32(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.RunF32(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[orig.Graph.Output()].MaxAbsDiff(b[loaded.Graph.Output()]) != 0 {
+			t.Fatalf("%s: loaded model computes differently", orig.Name)
+		}
+	}
+}
+
+func TestSaveLoadPreservesBranchGroups(t *testing.T) {
+	orig, err := SqueezeNetV11(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Calibrate(calInputs(orig.InputShape, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(loaded.Graph.BranchGroups()), len(orig.Graph.BranchGroups()); got != want {
+		t.Fatalf("branch groups %d vs %d", got, want)
+	}
+}
+
+func TestSaveRejectsSpecOnly(t *testing.T) {
+	m, _ := VGG16(Config{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("spec-only save must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream")); err == nil {
+		t.Fatal("garbage must fail to load")
+	}
+}
+
+func TestSaveLoadUncalibrated(t *testing.T) {
+	orig, err := LeNet5(Config{Numeric: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Calibrated {
+		t.Fatal("uncalibrated model must load uncalibrated")
+	}
+	// It can be calibrated after loading.
+	if err := loaded.Calibrate(calInputs(loaded.InputShape, 1)); err != nil {
+		t.Fatal(err)
+	}
+}

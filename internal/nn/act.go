@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"math"
+
+	"mulayer/internal/f16"
+	"mulayer/internal/tensor"
+)
+
+// ReLU is a standalone rectified-linear layer. Most activations in the
+// model zoo are fused into the preceding convolution; the standalone layer
+// exists for networks that interleave normalization between convolution
+// and activation (AlexNet) and for tests.
+type ReLU struct {
+	LayerName string
+	QI        QuantInfo
+}
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *ReLU) Kind() OpKind { return OpReLU }
+
+// Quant implements Layer.
+func (l *ReLU) Quant() *QuantInfo { return &l.QI }
+
+// OutShape implements Layer.
+func (l *ReLU) OutShape(ins []tensor.Shape) (tensor.Shape, error) {
+	if len(ins) != 1 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "want 1 input, got %d", len(ins))
+	}
+	return ins[0], nil
+}
+
+// Cost implements Layer.
+func (l *ReLU) Cost(ins []tensor.Shape) Cost {
+	if len(ins) != 1 {
+		return Cost{}
+	}
+	e := int64(ins[0].Elems())
+	return Cost{MACs: e, InElems: e, OutElems: e}
+}
+
+// SplitChannels implements Layer.
+func (l *ReLU) SplitChannels(ins []tensor.Shape) int {
+	if len(ins) != 1 {
+		return 0
+	}
+	return ins[0].C
+}
+
+// ForwardF32 rectifies channels [c0,c1).
+func (l *ReLU) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, in.Shape.C, l.LayerName)
+	for n := 0; n < in.Shape.N; n++ {
+		lo, hi := in.Shape.ChannelSpan(n, c0, c1)
+		for i := lo; i < hi; i++ {
+			v := in.Data[i]
+			if v < 0 {
+				v = 0
+			}
+			out.Data[i] = v
+		}
+	}
+}
+
+// ForwardQ rectifies on the quantized grid: clamp to the zero point.
+// Input and output share parameters.
+func (l *ReLU) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, in.Shape.C, l.LayerName)
+	if in.Params != out.Params {
+		panic("nn: ReLU requires matching quantization params on " + l.LayerName)
+	}
+	zp := in.Params.ZeroPoint
+	for n := 0; n < in.Shape.N; n++ {
+		lo, hi := in.Shape.ChannelSpan(n, c0, c1)
+		for i := lo; i < hi; i++ {
+			v := in.Data[i]
+			if v < zp {
+				v = zp
+			}
+			out.Data[i] = v
+		}
+	}
+}
+
+// ForwardF16 rectifies in half precision (a sign-bit test).
+func (l *ReLU) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, in.Shape.C, l.LayerName)
+	for n := 0; n < in.Shape.N; n++ {
+		lo, hi := in.Shape.ChannelSpan(n, c0, c1)
+		for i := lo; i < hi; i++ {
+			v := in.Data[i]
+			if v.Signbit() && !v.IsZero() {
+				v = f16.Zero
+			}
+			out.Data[i] = v
+		}
+	}
+}
+
+// Softmax normalizes across channels per spatial position. The layer is
+// numerically delicate and tiny, so μLayer never splits it: it runs whole
+// on the CPU (SplitChannels reports 0).
+type Softmax struct {
+	LayerName string
+	QI        QuantInfo
+}
+
+// Name implements Layer.
+func (l *Softmax) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Softmax) Kind() OpKind { return OpSoftmax }
+
+// Quant implements Layer.
+func (l *Softmax) Quant() *QuantInfo { return &l.QI }
+
+// OutShape implements Layer.
+func (l *Softmax) OutShape(ins []tensor.Shape) (tensor.Shape, error) {
+	if len(ins) != 1 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "want 1 input, got %d", len(ins))
+	}
+	return ins[0], nil
+}
+
+// Cost implements Layer.
+func (l *Softmax) Cost(ins []tensor.Shape) Cost {
+	if len(ins) != 1 {
+		return Cost{}
+	}
+	e := int64(ins[0].Elems())
+	return Cost{MACs: 4 * e, InElems: e, OutElems: e}
+}
+
+// SplitChannels implements Layer: never split.
+func (l *Softmax) SplitChannels(ins []tensor.Shape) int { return 0 }
+
+// ForwardF32 computes a max-subtracted softmax across channels.
+func (l *Softmax) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int) {
+	in := ins[0]
+	s := in.Shape
+	for n := 0; n < s.N; n++ {
+		for y := 0; y < s.H; y++ {
+			for x := 0; x < s.W; x++ {
+				m := float32(math.Inf(-1))
+				for c := 0; c < s.C; c++ {
+					if v := in.At(n, c, y, x); v > m {
+						m = v
+					}
+				}
+				var sum float64
+				for c := 0; c < s.C; c++ {
+					sum += math.Exp(float64(in.At(n, c, y, x) - m))
+				}
+				for c := 0; c < s.C; c++ {
+					out.Set(n, c, y, x, float32(math.Exp(float64(in.At(n, c, y, x)-m))/sum))
+				}
+			}
+		}
+	}
+}
+
+// ForwardQ dequantizes, applies the float softmax, and requantizes onto
+// the output grid — the standard integer-runtime treatment of softmax.
+func (l *Softmax) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int) {
+	fin := tensor.Dequantize(ins[0])
+	fout := tensor.New(fin.Shape)
+	l.ForwardF32([]*tensor.Tensor{fin}, fout, 0, fin.Shape.C)
+	for i, v := range fout.Data {
+		out.Data[i] = out.Params.Quantize(v)
+	}
+}
+
+// ForwardF16 widens to float32, applies softmax, and rounds back.
+func (l *Softmax) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int) {
+	fin := tensor.HalfToFloat(ins[0])
+	fout := tensor.New(fin.Shape)
+	l.ForwardF32([]*tensor.Tensor{fin}, fout, 0, fin.Shape.C)
+	for i, v := range fout.Data {
+		out.Data[i] = f16.FromFloat32(v)
+	}
+}

@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"mulayer/internal/f16"
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+// Add is the elementwise residual-sum layer of ResNet-style networks
+// (He et al., one of the Figure 10 families). It sums two equal-shape
+// inputs and applies an optional fused activation. Like pooling it is
+// splittable over channels: each processor sums a disjoint channel range.
+type Add struct {
+	LayerName string
+	Act       quant.Activation
+	QI        QuantInfo
+}
+
+// Name implements Layer.
+func (l *Add) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Add) Kind() OpKind { return OpAdd }
+
+// Quant implements Layer.
+func (l *Add) Quant() *QuantInfo { return &l.QI }
+
+// OutShape implements Layer.
+func (l *Add) OutShape(ins []tensor.Shape) (tensor.Shape, error) {
+	if len(ins) != 2 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "want 2 inputs, got %d", len(ins))
+	}
+	if ins[0] != ins[1] {
+		return tensor.Shape{}, shapeErr(l.LayerName, "shape mismatch %v vs %v", ins[0], ins[1])
+	}
+	return ins[0], nil
+}
+
+// Cost implements Layer.
+func (l *Add) Cost(ins []tensor.Shape) Cost {
+	if len(ins) != 2 {
+		return Cost{}
+	}
+	e := int64(ins[0].Elems())
+	return Cost{MACs: e, InElems: 2 * e, OutElems: e}
+}
+
+// SplitChannels implements Layer.
+func (l *Add) SplitChannels(ins []tensor.Shape) int {
+	if len(ins) != 2 {
+		return 0
+	}
+	return ins[0].C
+}
+
+// ForwardF32 sums channels [c0,c1).
+func (l *Add) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int) {
+	a, b := ins[0], ins[1]
+	checkRange(c0, c1, a.Shape.C, l.LayerName)
+	for n := 0; n < a.Shape.N; n++ {
+		lo, hi := a.Shape.ChannelSpan(n, c0, c1)
+		for i := lo; i < hi; i++ {
+			out.Data[i] = l.Act.Apply(a.Data[i] + b.Data[i])
+		}
+	}
+}
+
+// ForwardQ sums on the quantized grids: each operand dequantizes with its
+// own grid, the real sum requantizes onto the output grid (the standard
+// integer-runtime treatment of residual adds — the two operands typically
+// carry different scales).
+func (l *Add) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int) {
+	a, b := ins[0], ins[1]
+	checkRange(c0, c1, a.Shape.C, l.LayerName)
+	for n := 0; n < a.Shape.N; n++ {
+		lo, hi := a.Shape.ChannelSpan(n, c0, c1)
+		for i := lo; i < hi; i++ {
+			v := a.Params.Dequantize(a.Data[i]) + b.Params.Dequantize(b.Data[i])
+			out.Data[i] = out.Params.Quantize(l.Act.Apply(v))
+		}
+	}
+}
+
+// ForwardF16 sums in half precision.
+func (l *Add) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int) {
+	a, b := ins[0], ins[1]
+	checkRange(c0, c1, a.Shape.C, l.LayerName)
+	for n := 0; n < a.Shape.N; n++ {
+		lo, hi := a.Shape.ChannelSpan(n, c0, c1)
+		for i := lo; i < hi; i++ {
+			s := f16.Add(a.Data[i], b.Data[i])
+			out.Data[i] = f16.FromFloat32(l.Act.Apply(s.Float32()))
+		}
+	}
+}

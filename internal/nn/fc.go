@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+
+	"mulayer/internal/f16"
+	"mulayer/internal/gemm"
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+// FullyConnected is a dense layer over the flattened input (C·H·W
+// features). Like a convolution it is split over output neurons ("output
+// channels", §3.2): each processor computes a disjoint neuron range.
+type FullyConnected struct {
+	LayerName  string
+	InFeatures int
+	OutC       int
+	Act        quant.Activation
+	W          *tensor.Tensor // (OutC, InFeatures, 1, 1); nil in spec-only mode
+	Bias       []float32
+	QI         QuantInfo
+	wq         *tensor.QTensor
+	biasQ      []int32
+	hwFromF    []f16.F16
+	hwFromQ    []f16.F16
+}
+
+// Name implements Layer.
+func (l *FullyConnected) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *FullyConnected) Kind() OpKind { return OpFC }
+
+// Quant implements Layer.
+func (l *FullyConnected) Quant() *QuantInfo { return &l.QI }
+
+// OutShape implements Layer.
+func (l *FullyConnected) OutShape(ins []tensor.Shape) (tensor.Shape, error) {
+	if len(ins) != 1 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "want 1 input, got %d", len(ins))
+	}
+	in := ins[0]
+	if in.C*in.H*in.W != l.InFeatures {
+		return tensor.Shape{}, shapeErr(l.LayerName, "input %v has %d features, want %d", in, in.C*in.H*in.W, l.InFeatures)
+	}
+	return tensor.Shape{N: in.N, C: l.OutC, H: 1, W: 1}, nil
+}
+
+// Cost implements Layer.
+func (l *FullyConnected) Cost(ins []tensor.Shape) Cost {
+	if _, err := l.OutShape(ins); err != nil {
+		return Cost{}
+	}
+	n := int64(ins[0].N)
+	return Cost{
+		MACs:     n * int64(l.OutC) * int64(l.InFeatures),
+		InElems:  n * int64(l.InFeatures),
+		WElems:   int64(l.OutC) * int64(l.InFeatures),
+		OutElems: n * int64(l.OutC),
+	}
+}
+
+// SplitChannels implements Layer.
+func (l *FullyConnected) SplitChannels(ins []tensor.Shape) int { return l.OutC }
+
+// SetQuant installs calibrated activation grids and builds weight caches
+// (see Conv2D.SetQuant).
+func (l *FullyConnected) SetQuant(in, out quant.Params) {
+	if l.W == nil {
+		panic("nn: SetQuant on spec-only FullyConnected " + l.LayerName)
+	}
+	wmin, wmax := l.W.Range()
+	wp := quant.ChooseParams(wmin, wmax)
+	l.QI = QuantInfo{In: in, W: wp, Out: out, Ready: true}
+	l.wq = tensor.Quantize(l.W, wp)
+	l.biasQ = make([]int32, l.OutC)
+	biasScale := float64(in.Scale) * float64(wp.Scale)
+	for i := 0; i < l.OutC; i++ {
+		var b float64
+		if l.Bias != nil {
+			b = float64(l.Bias[i])
+		}
+		l.biasQ[i] = int32(math.Round(b / biasScale))
+	}
+	l.hwFromF = f16.FromSlice32(l.W.Data)
+	l.hwFromQ = make([]f16.F16, len(l.wq.Data))
+	for i, q := range l.wq.Data {
+		l.hwFromQ[i] = f16.FromFloat32(wp.Dequantize(q))
+	}
+}
+
+// ForwardF32 computes output neurons [c0,c1) in single precision.
+func (l *FullyConnected) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, l.OutC, l.LayerName)
+	k := l.InFeatures
+	for n := 0; n < in.Shape.N; n++ {
+		vec := in.Data[n*k : (n+1)*k]
+		dst := out.Data[n*l.OutC+c0 : n*l.OutC+c1]
+		gemm.F32(l.W.Data[c0*k:c1*k], vec, dst, c1-c0, k, 1)
+		for i := range dst {
+			var b float32
+			if l.Bias != nil {
+				b = l.Bias[c0+i]
+			}
+			dst[i] = l.Act.Apply(dst[i] + b)
+		}
+	}
+}
+
+// ForwardQ computes output neurons [c0,c1) in the CPU integer pipeline.
+func (l *FullyConnected) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, l.OutC, l.LayerName)
+	if !l.QI.Ready {
+		panic("nn: quantized forward before SetQuant on " + l.LayerName)
+	}
+	req := quant.NewRequantizer(in.Params, l.QI.W, out.Params, l.Act)
+	k := l.InFeatures
+	za, zw := int32(in.Params.ZeroPoint), int32(l.QI.W.ZeroPoint)
+	acc := make([]int32, c1-c0)
+	for n := 0; n < in.Shape.N; n++ {
+		vec := in.Data[n*k : (n+1)*k]
+		gemm.QGEMM(l.wq.Data[c0*k:c1*k], vec, acc, c1-c0, k, 1, zw, za)
+		for i, a := range acc {
+			out.Data[n*l.OutC+c0+i] = req.Requantize(a + l.biasQ[c0+i])
+		}
+	}
+}
+
+// ForwardF16 computes output neurons [c0,c1) in half precision; fromQ
+// selects the weight cache as in Conv2D.ForwardF16.
+func (l *FullyConnected) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int, fromQ bool) {
+	in := ins[0]
+	checkRange(c0, c1, l.OutC, l.LayerName)
+	w := l.halfWeights(fromQ)
+	k := l.InFeatures
+	for n := 0; n < in.Shape.N; n++ {
+		vec := in.Data[n*k : (n+1)*k]
+		dst := out.Data[n*l.OutC+c0 : n*l.OutC+c1]
+		gemm.F16GEMM(w[c0*k:c1*k], vec, dst, c1-c0, k, 1)
+		for i := range dst {
+			var b float32
+			if l.Bias != nil {
+				b = l.Bias[c0+i]
+			}
+			dst[i] = f16.FromFloat32(l.Act.Apply(dst[i].Float32() + b))
+		}
+	}
+}
+
+// ForwardQViaF16 is the GPU processor-friendly path: dequantize the input
+// to halves, run the half GEMV with dequantized-half weights, requantize.
+func (l *FullyConnected) ForwardQViaF16(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, l.OutC, l.LayerName)
+	if !l.QI.Ready {
+		panic("nn: quantized forward before SetQuant on " + l.LayerName)
+	}
+	hin := tensor.DequantizeToHalf(in)
+	k := l.InFeatures
+	biasScale := float64(in.Params.Scale) * float64(l.QI.W.Scale)
+	dst := make([]f16.F16, c1-c0)
+	for n := 0; n < in.Shape.N; n++ {
+		vec := hin.Data[n*k : (n+1)*k]
+		gemm.F16GEMM(l.hwFromQ[c0*k:c1*k], vec, dst, c1-c0, k, 1)
+		for i := range dst {
+			b := f16.FromFloat32(float32(float64(l.biasQ[c0+i]) * biasScale))
+			v := f16.Add(dst[i], b)
+			out.Data[n*l.OutC+c0+i] = out.Params.Quantize(l.Act.Apply(v.Float32()))
+		}
+	}
+}
+
+func (l *FullyConnected) halfWeights(fromQ bool) []f16.F16 {
+	if fromQ {
+		if !l.QI.Ready {
+			panic("nn: quantized forward before SetQuant on " + l.LayerName)
+		}
+		return l.hwFromQ
+	}
+	if l.hwFromF == nil {
+		if l.W == nil {
+			panic("nn: forward on spec-only FullyConnected " + l.LayerName)
+		}
+		l.hwFromF = f16.FromSlice32(l.W.Data)
+	}
+	return l.hwFromF
+}

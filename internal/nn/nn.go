@@ -1,0 +1,179 @@
+// Package nn implements the neural-network layers μLayer executes:
+// convolutional (including depthwise and grouped), fully-connected,
+// pooling, activation, local response normalization, concatenation, and
+// softmax layers, each with three arithmetic pipelines (F32, F16, QUInt8).
+//
+// Every kernel takes an output-channel range [c0,c1): this is the
+// primitive behind μLayer's channel-wise workload distribution (§3.2).
+// Executing the same layer once with [0,c) on one processor and once with
+// [c,C) on another covers every output element exactly once — no redundant
+// computation — and merging is a contiguous copy in the NCHW layout.
+package nn
+
+import (
+	"fmt"
+
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+// OpKind classifies layers for cost modeling and plan construction.
+type OpKind int
+
+// The layer kinds of the evaluated NNs.
+const (
+	OpInput OpKind = iota
+	OpConv
+	OpDepthwise
+	OpFC
+	OpMaxPool
+	OpAvgPool
+	OpReLU
+	OpLRN
+	OpConcat
+	OpSoftmax
+	OpAdd
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInput:
+		return "input"
+	case OpConv:
+		return "conv"
+	case OpDepthwise:
+		return "dwconv"
+	case OpFC:
+		return "fc"
+	case OpMaxPool:
+		return "maxpool"
+	case OpAvgPool:
+		return "avgpool"
+	case OpReLU:
+		return "relu"
+	case OpLRN:
+		return "lrn"
+	case OpConcat:
+		return "concat"
+	case OpSoftmax:
+		return "softmax"
+	case OpAdd:
+		return "add"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Cost summarizes the work of executing a layer (or a channel slice of
+// one): multiply-accumulate count and element traffic. The device model
+// turns it into time and energy given the data types in play.
+type Cost struct {
+	MACs     int64 // multiply-accumulates (comparisons/adds for pooling)
+	InElems  int64 // activation elements read
+	WElems   int64 // weight elements read
+	OutElems int64 // elements written
+}
+
+// Add returns the elementwise sum of two costs.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		MACs:     c.MACs + o.MACs,
+		InElems:  c.InElems + o.InElems,
+		WElems:   c.WElems + o.WElems,
+		OutElems: c.OutElems + o.OutElems,
+	}
+}
+
+// Scale returns the cost of executing the fraction p of the layer's output
+// channels: compute, weight traffic and output traffic scale with p while
+// the activation input is shared (read in full by both processors under
+// the channel-wise distribution).
+func (c Cost) Scale(p float64) Cost {
+	return Cost{
+		MACs:     int64(float64(c.MACs) * p),
+		InElems:  c.InElems,
+		WElems:   int64(float64(c.WElems) * p),
+		OutElems: int64(float64(c.OutElems) * p),
+	}
+}
+
+// QuantInfo carries the quantization artifacts a layer needs for the
+// integer pipelines. It is populated by calibration (models package):
+// μLayer assumes 8-bit linear quantization was already applied to the
+// network (§6).
+type QuantInfo struct {
+	In  quant.Params // input activation grid
+	W   quant.Params // weight grid (per-tensor, or the first channel's when per-channel)
+	Out quant.Params // output activation grid
+	// WPerChannel holds one weight grid per output channel when the layer
+	// uses per-channel weight quantization — the standard production
+	// refinement for depthwise convolutions, whose per-channel weight
+	// ranges vary wildly (an extension beyond the paper's per-tensor
+	// gemmlowp scheme).
+	WPerChannel []quant.Params
+	Ready       bool // true once calibration has run
+}
+
+// PerChannel reports whether per-channel weight grids are installed.
+func (q *QuantInfo) PerChannel() bool { return len(q.WPerChannel) > 0 }
+
+// Layer is one NN layer. Implementations also provide dtype-specific
+// forward methods; the executor dispatches on the concrete type.
+type Layer interface {
+	Name() string
+	Kind() OpKind
+	// OutShape computes the output shape from the input shapes, or an
+	// error when the layer cannot accept them.
+	OutShape(ins []tensor.Shape) (tensor.Shape, error)
+	// Cost returns the full-layer cost for the input shapes.
+	Cost(ins []tensor.Shape) Cost
+	// SplitChannels returns the number of output channels the layer can be
+	// split over for channel-wise distribution, or 0 when the layer must
+	// run whole on a single processor.
+	SplitChannels(ins []tensor.Shape) int
+	// Quant exposes the layer's quantization info (nil for layers with no
+	// quantized state, e.g. Input).
+	Quant() *QuantInfo
+}
+
+// shapeErr builds a consistent error for shape mismatches.
+func shapeErr(layer, format string, args ...any) error {
+	return fmt.Errorf("nn: %s: %s", layer, fmt.Sprintf(format, args...))
+}
+
+// checkRange panics when a channel range is out of bounds; kernels use it
+// to fail fast on malformed plans.
+func checkRange(c0, c1, c int, layer string) {
+	if c0 < 0 || c1 > c || c0 >= c1 {
+		panic(fmt.Sprintf("nn: %s: invalid channel range [%d,%d) of %d", layer, c0, c1, c))
+	}
+}
+
+// Input is the graph source pseudo-layer. It performs no computation.
+type Input struct {
+	LayerName string
+	Shape     tensor.Shape
+}
+
+// Name implements Layer.
+func (l *Input) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Input) Kind() OpKind { return OpInput }
+
+// OutShape implements Layer.
+func (l *Input) OutShape(ins []tensor.Shape) (tensor.Shape, error) {
+	if len(ins) != 0 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "input layer takes no inputs")
+	}
+	return l.Shape, nil
+}
+
+// Cost implements Layer.
+func (l *Input) Cost(ins []tensor.Shape) Cost { return Cost{} }
+
+// SplitChannels implements Layer.
+func (l *Input) SplitChannels(ins []tensor.Shape) int { return 0 }
+
+// Quant implements Layer.
+func (l *Input) Quant() *QuantInfo { return nil }

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"mulayer/internal/quant"
+	"mulayer/internal/tensor"
+)
+
+// newPerChannelConv builds a depthwise conv whose per-channel weight
+// magnitudes differ by orders of magnitude — the regime where per-tensor
+// quantization collapses small channels to zero.
+func newPerChannelConv(t *testing.T, perChannel bool) (*Conv2D, *tensor.Tensor) {
+	t.Helper()
+	const c = 6
+	in := tensor.New(tensor.Shape{N: 1, C: c, H: 8, W: 8})
+	in.FillRandom(31, 1)
+	w := tensor.New(tensor.Shape{N: c, C: 1, H: 3, W: 3})
+	w.FillRandom(32, 1)
+	// Scale channel i's weights by 2^-i: channel 5 is 32× smaller than
+	// channel 0, the regime where a shared per-tensor grid leaves the
+	// small channels only a handful of quantization levels.
+	for oc := 0; oc < c; oc++ {
+		mul := float32(math.Pow(2, -float64(oc)))
+		for i := 0; i < 9; i++ {
+			w.Data[oc*9+i] *= mul
+		}
+	}
+	l := &Conv2D{
+		LayerName: "dw_pc", InC: c, OutC: c, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: c,
+		PerChannelW: perChannel, W: w, Bias: make([]float32, c),
+	}
+	outShape, err := l.OutShape([]tensor.Shape{in.Shape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tensor.New(outShape)
+	l.ForwardF32([]*tensor.Tensor{in}, ref, 0, c)
+	inMin, inMax := in.Range()
+	oMin, oMax := ref.Range()
+	l.SetQuant(quant.ChooseParams(inMin, inMax), quant.ChooseParams(oMin, oMax))
+	return l, in
+}
+
+// relErr measures the per-channel relative error of the quantized path
+// against the *output-grid-rounded* F32 reference: rounding the reference
+// onto the output grid first isolates the error induced by weight
+// quantization from the unavoidable output-activation rounding that both
+// schemes share.
+func relErr(t *testing.T, l *Conv2D, in *tensor.Tensor, oc int) float64 {
+	t.Helper()
+	outShape, _ := l.OutShape([]tensor.Shape{in.Shape})
+	ref := tensor.New(outShape)
+	l.ForwardF32([]*tensor.Tensor{in}, ref, 0, l.OutC)
+	refQ := tensor.Dequantize(tensor.Quantize(ref, l.QI.Out))
+	qin := tensor.Quantize(in, l.QI.In)
+	qout := tensor.NewQ(outShape, l.QI.Out)
+	l.ForwardQ([]*tensor.QTensor{qin}, qout, 0, l.OutC)
+	deq := tensor.Dequantize(qout)
+	var num, den float64
+	lo, hi := outShape.ChannelSpan(0, oc, oc+1)
+	for i := lo; i < hi; i++ {
+		num += math.Abs(float64(deq.Data[i] - refQ.Data[i]))
+		den += math.Abs(float64(ref.Data[i]))
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func TestPerChannelRescuesSmallChannels(t *testing.T) {
+	pt, in := newPerChannelConv(t, false)
+	pc, _ := newPerChannelConv(t, true)
+	// Per-tensor: channel 5's weights (32× below channel 0) keep only a
+	// few quantization levels; per-channel restores the full 8 bits.
+	ptErr := relErr(t, pt, in, 5)
+	pcErr := relErr(t, pc, in, 5)
+	if pcErr >= ptErr/2 {
+		t.Fatalf("per-channel rel. error %.3f must be well below per-tensor %.3f on the small channel", pcErr, ptErr)
+	}
+	if !pc.QI.PerChannel() || pt.QI.PerChannel() {
+		t.Fatal("PerChannel flags")
+	}
+	if len(pc.QI.WPerChannel) != 6 {
+		t.Fatal("per-channel grid count")
+	}
+}
+
+func TestPerChannelSplitMergeBitExact(t *testing.T) {
+	l, in := newPerChannelConv(t, true)
+	outShape, _ := l.OutShape([]tensor.Shape{in.Shape})
+	qin := tensor.Quantize(in, l.QI.In)
+	full := tensor.NewQ(outShape, l.QI.Out)
+	l.ForwardQ([]*tensor.QTensor{qin}, full, 0, l.OutC)
+	a := tensor.NewQ(outShape, l.QI.Out)
+	b := tensor.NewQ(outShape, l.QI.Out)
+	l.ForwardQ([]*tensor.QTensor{qin}, a, 0, 2)
+	l.ForwardQ([]*tensor.QTensor{qin}, b, 2, l.OutC)
+	m := tensor.NewQ(outShape, l.QI.Out)
+	m.CopyChannels(a, 0, 2)
+	m.CopyChannels(b, 2, l.OutC)
+	for i := range m.Data {
+		if m.Data[i] != full.Data[i] {
+			t.Fatal("per-channel split-merge differs")
+		}
+	}
+}
+
+func TestPerChannelGPUPathAgrees(t *testing.T) {
+	l, in := newPerChannelConv(t, true)
+	outShape, _ := l.OutShape([]tensor.Shape{in.Shape})
+	qin := tensor.Quantize(in, l.QI.In)
+	cpu := tensor.NewQ(outShape, l.QI.Out)
+	gpu := tensor.NewQ(outShape, l.QI.Out)
+	l.ForwardQ([]*tensor.QTensor{qin}, cpu, 0, l.OutC)
+	l.ForwardQViaF16([]*tensor.QTensor{qin}, gpu, 0, l.OutC)
+	for i := range cpu.Data {
+		d := int(cpu.Data[i]) - int(gpu.Data[i])
+		if d < -2 || d > 2 {
+			t.Fatalf("per-channel CPU/GPU paths differ by %d at %d", d, i)
+		}
+	}
+}
+
+func TestPerChannelDenseConvIm2ColPath(t *testing.T) {
+	// Per-channel requantization must also work through the im2col+GEMM
+	// fast path (Groups == 1).
+	in := tensor.New(tensor.Shape{N: 1, C: 3, H: 7, W: 7})
+	in.FillRandom(41, 1)
+	w := tensor.New(tensor.Shape{N: 4, C: 3, H: 3, W: 3})
+	w.FillRandom(42, 0.5)
+	for i := 0; i < 27; i++ {
+		w.Data[2*27+i] *= 1e-3 // shrink channel 2
+	}
+	l := &Conv2D{
+		LayerName: "pc_dense", InC: 3, OutC: 4, KH: 3, KW: 3,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		PerChannelW: true, W: w,
+	}
+	outShape, _ := l.OutShape([]tensor.Shape{in.Shape})
+	ref := tensor.New(outShape)
+	l.ForwardF32([]*tensor.Tensor{in}, ref, 0, 4)
+	inMin, inMax := in.Range()
+	oMin, oMax := ref.Range()
+	l.SetQuant(quant.ChooseParams(inMin, inMax), quant.ChooseParams(oMin, oMax))
+	qin := tensor.Quantize(in, l.QI.In)
+	qout := tensor.NewQ(outShape, l.QI.Out)
+	l.ForwardQ([]*tensor.QTensor{qin}, qout, 0, 4)
+	deq := tensor.Dequantize(qout)
+	if d := deq.MaxAbsDiff(ref); d > float64(l.QI.Out.Scale)*6 {
+		t.Fatalf("dense per-channel error %v", d)
+	}
+}
+
+func TestPerChannelWeightRoundTripError(t *testing.T) {
+	// The quantized weights themselves: per-channel scales must represent
+	// each channel within its own half-step, while per-tensor cannot.
+	l, _ := newPerChannelConv(t, true)
+	rows := 9
+	for oc := 0; oc < l.OutC; oc++ {
+		wp := l.QI.WPerChannel[oc]
+		for i := 0; i < rows; i++ {
+			orig := l.W.Data[oc*rows+i]
+			back := wp.Dequantize(l.wq.Data[oc*rows+i])
+			if math.Abs(float64(back-orig)) > float64(wp.Scale)*0.5001 {
+				t.Fatalf("channel %d weight %d: %v vs %v (scale %v)", oc, i, back, orig, wp.Scale)
+			}
+		}
+	}
+}

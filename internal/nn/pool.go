@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"math"
+
+	"mulayer/internal/f16"
+	"mulayer/internal/tensor"
+)
+
+// Pool is a max or average pooling layer. Pooling applies its window
+// spatially and independently per channel, so the number of output
+// channels equals the number of input channels and μLayer distributes the
+// *input* channels across processors (§3.2, Figure 7b) — which is the same
+// [c0,c1) range primitive as the output-channel split of convolutions.
+type Pool struct {
+	LayerName        string
+	Max              bool // true = max pooling, false = average pooling
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+	Global           bool // window covers the whole input plane
+	CountIncludePad  bool // average denominator includes padding taps
+	QI               QuantInfo
+}
+
+// Name implements Layer.
+func (l *Pool) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Pool) Kind() OpKind {
+	if l.Max {
+		return OpMaxPool
+	}
+	return OpAvgPool
+}
+
+// Quant implements Layer.
+func (l *Pool) Quant() *QuantInfo { return &l.QI }
+
+func (l *Pool) window(in tensor.Shape) (kh, kw, sh, sw int) {
+	if l.Global {
+		return in.H, in.W, 1, 1
+	}
+	return l.KH, l.KW, l.StrideH, l.StrideW
+}
+
+// OutShape implements Layer.
+func (l *Pool) OutShape(ins []tensor.Shape) (tensor.Shape, error) {
+	if len(ins) != 1 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "want 1 input, got %d", len(ins))
+	}
+	in := ins[0]
+	kh, kw, sh, sw := l.window(in)
+	oh := (in.H+2*l.PadH-kh)/sh + 1
+	ow := (in.W+2*l.PadW-kw)/sw + 1
+	if oh <= 0 || ow <= 0 {
+		return tensor.Shape{}, shapeErr(l.LayerName, "non-positive output %dx%d for input %v", oh, ow, in)
+	}
+	return tensor.Shape{N: in.N, C: in.C, H: oh, W: ow}, nil
+}
+
+// Cost implements Layer. Each output element reads a kh×kw window.
+func (l *Pool) Cost(ins []tensor.Shape) Cost {
+	out, err := l.OutShape(ins)
+	if err != nil {
+		return Cost{}
+	}
+	kh, kw, _, _ := l.window(ins[0])
+	return Cost{
+		MACs:     int64(out.Elems()) * int64(kh) * int64(kw),
+		InElems:  int64(ins[0].Elems()),
+		OutElems: int64(out.Elems()),
+	}
+}
+
+// SplitChannels implements Layer: pooling splits over its (equal) channel
+// count.
+func (l *Pool) SplitChannels(ins []tensor.Shape) int {
+	if len(ins) != 1 {
+		return 0
+	}
+	return ins[0].C
+}
+
+// forEachWindow visits every output position of channels [c0,c1) and
+// yields the valid input taps, letting each dtype share the window walk.
+func (l *Pool) forEachWindow(in, out tensor.Shape, c0, c1 int, visit func(n, c, oy, ox int, taps []int, denom int)) {
+	kh, kw, sh, sw := l.window(in)
+	taps := make([]int, 0, kh*kw)
+	for n := 0; n < in.N; n++ {
+		for c := c0; c < c1; c++ {
+			for oy := 0; oy < out.H; oy++ {
+				for ox := 0; ox < out.W; ox++ {
+					taps = taps[:0]
+					for y := 0; y < kh; y++ {
+						sy := oy*sh - l.PadH + y
+						if sy < 0 || sy >= in.H {
+							continue
+						}
+						for x := 0; x < kw; x++ {
+							sx := ox*sw - l.PadW + x
+							if sx < 0 || sx >= in.W {
+								continue
+							}
+							taps = append(taps, in.Index(n, c, sy, sx))
+						}
+					}
+					denom := len(taps)
+					if l.CountIncludePad {
+						denom = kh * kw
+					}
+					visit(n, c, oy, ox, taps, denom)
+				}
+			}
+		}
+	}
+}
+
+// ForwardF32 pools channels [c0,c1) in single precision.
+func (l *Pool) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, in.Shape.C, l.LayerName)
+	l.forEachWindow(in.Shape, out.Shape, c0, c1, func(n, c, oy, ox int, taps []int, denom int) {
+		if l.Max {
+			m := float32(math.Inf(-1))
+			for _, t := range taps {
+				if v := in.Data[t]; v > m {
+					m = v
+				}
+			}
+			out.Set(n, c, oy, ox, m)
+			return
+		}
+		var s float32
+		for _, t := range taps {
+			s += in.Data[t]
+		}
+		out.Set(n, c, oy, ox, s/float32(denom))
+	})
+}
+
+// ForwardQ pools channels [c0,c1) on the quantized grid. Max pooling is
+// exact (max is monotone under the affine map); average pooling rounds the
+// integer mean. Input and output must share quantization parameters, which
+// calibration guarantees for pooling layers.
+func (l *Pool) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, in.Shape.C, l.LayerName)
+	if in.Params != out.Params {
+		panic("nn: pooling requires matching input/output quantization params on " + l.LayerName)
+	}
+	l.forEachWindow(in.Shape, out.Shape, c0, c1, func(n, c, oy, ox int, taps []int, denom int) {
+		if l.Max {
+			var m uint8
+			for _, t := range taps {
+				if v := in.Data[t]; v > m {
+					m = v
+				}
+			}
+			out.Set(n, c, oy, ox, m)
+			return
+		}
+		var s int32
+		for _, t := range taps {
+			s += int32(in.Data[t])
+		}
+		// Padding taps contribute the zero point when included in the count.
+		if l.CountIncludePad {
+			s += int32(denom-len(taps)) * int32(in.Params.ZeroPoint)
+		}
+		q := (s + int32(denom)/2) / int32(denom) // rounded integer mean
+		out.Set(n, c, oy, ox, uint8(q))
+	})
+}
+
+// ForwardF16 pools channels [c0,c1) in half precision; the average
+// accumulates in float32 and rounds once, like the GEMM kernels.
+func (l *Pool) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int) {
+	in := ins[0]
+	checkRange(c0, c1, in.Shape.C, l.LayerName)
+	l.forEachWindow(in.Shape, out.Shape, c0, c1, func(n, c, oy, ox int, taps []int, denom int) {
+		if l.Max {
+			m := float32(math.Inf(-1))
+			for _, t := range taps {
+				if v := in.Data[t].Float32(); v > m {
+					m = v
+				}
+			}
+			out.Set(n, c, oy, ox, f16.FromFloat32(m))
+			return
+		}
+		var s float32
+		for _, t := range taps {
+			s += in.Data[t].Float32()
+		}
+		out.Set(n, c, oy, ox, f16.FromFloat32(s/float32(denom)))
+	})
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mulayer/internal/graph"
+	"mulayer/internal/models"
+	"mulayer/internal/profile"
+	"mulayer/internal/soc"
+)
+
+var (
+	npuSoC  = soc.Exynos7420NPU()
+	npuPred = profile.Build(npuSoC.Processors()...)
+)
+
+func TestSplitChannels3Partition(t *testing.T) {
+	f := func(cs, ns uint8, chs uint8) bool {
+		splitCh := int(chs%200) + 1
+		c := float64(cs%5) / 4
+		n := float64(ns%5) / 4
+		if c+n > 1 {
+			return true
+		}
+		cpu, gpu, npu := SplitChannels3(c, n, splitCh)
+		if cpu < 0 || gpu < 0 || npu < 0 {
+			return false
+		}
+		return cpu+gpu+npu == splitCh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeWayGridCoversSimplex(t *testing.T) {
+	g := threeWayGrid()
+	if len(g) != 15 { // C(6,2) compositions of 4 into 3 parts
+		t.Fatalf("grid size %d, want 15", len(g))
+	}
+	seen := map[shares3]bool{}
+	for _, s := range g {
+		if s.cpu+s.gpu+s.npu < 0.999 || s.cpu+s.gpu+s.npu > 1.001 {
+			t.Fatalf("tuple %+v does not sum to 1", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate tuple %+v", s)
+		}
+		seen[s] = true
+	}
+	// Degenerate single-processor tuples must be present.
+	for _, want := range []shares3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}} {
+		if !seen[want] {
+			t.Fatalf("missing tuple %+v", want)
+		}
+	}
+}
+
+func TestMuLayerNPUPlanUsesThreeProcessors(t *testing.T) {
+	m := mustModel(t, models.VGG16)
+	plan, err := Build(m.Graph, MuLayerNPU(npuSoC, npuPred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverageOK(t, m, plan)
+	threeWay := 0
+	for _, s := range plan.Steps {
+		if s.Layer == nil {
+			continue
+		}
+		if s.Layer.P > 0 && s.Layer.PNPU > 0 && s.Layer.P+s.Layer.PNPU < 1 {
+			threeWay++
+		}
+	}
+	if threeWay < 5 {
+		t.Fatalf("VGG-16's large convolutions should use all three processors, got %d three-way steps", threeWay)
+	}
+}
+
+func TestNPUOnlyPlan(t *testing.T) {
+	m := mustModel(t, models.GoogLeNet)
+	plan, err := Build(m.Graph, NPUOnly(npuSoC, npuPred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverageOK(t, m, plan)
+	for _, s := range plan.Steps {
+		if s.Layer == nil || s.Layer.PNPU != 1 {
+			t.Fatalf("NPU-only plan has non-NPU step %+v", s)
+		}
+	}
+}
+
+func TestNPUOnlyRequiresNPU(t *testing.T) {
+	m := mustModel(t, models.LeNet5)
+	if _, err := Build(m.Graph, NPUOnly(testSoC, testPred)); err == nil {
+		t.Fatal("NPU-only on an NPU-less SoC must fail")
+	}
+}
+
+func TestMuLayerNPUPredictedBeatsTwoWay(t *testing.T) {
+	for _, build := range []func(models.Config) (*models.Model, error){models.VGG16, models.GoogLeNet} {
+		m := mustModel(t, build)
+		three, err := Build(m.Graph, MuLayerNPU(npuSoC, npuPred))
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := Build(m.Graph, MuLayer(npuSoC, npuPred))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if three.Predicted >= two.Predicted {
+			t.Errorf("%s: three-way predicted %v !< two-way %v", m.Name, three.Predicted, two.Predicted)
+		}
+	}
+}
+
+func TestBestSingle3PrefersNPUForBigIntegerWork(t *testing.T) {
+	o := MuLayerNPU(npuSoC, npuPred)
+	// A large conv in QUInt8: the NPU's integer engine should win the
+	// single-processor comparison.
+	m := mustModel(t, models.VGG16)
+	shapes, _ := m.Graph.InferShapes()
+	var found bool
+	for i := 0; i < m.Graph.Len(); i++ {
+		n := m.Graph.Node(graph.NodeID(i))
+		if n.Layer.Name() != "conv3_1" {
+			continue
+		}
+		found = true
+		c := n.Layer.Cost(m.Graph.InputShapes(n.ID, shapes))
+		cpu, npu, _ := o.bestSingle3(n.Layer.Kind(), c)
+		if cpu != 0 || npu != 1 {
+			t.Fatalf("conv3_1 single-proc choice cpu=%v npu=%v, want the NPU", cpu, npu)
+		}
+	}
+	if !found {
+		t.Fatal("conv3_1 not found")
+	}
+}

@@ -1,0 +1,443 @@
+// Package partition implements μLayer's NN partitioner (§6, Figure 13):
+// it turns a network graph into an execution plan by choosing, for every
+// layer, the channel-wise split ratio p ∈ {0, 0.25, 0.5, 0.75, 1} that the
+// latency predictor scores best (0 and 1 degenerate to single-processor
+// execution), and by applying branch distribution (§5) to fork-join
+// regions when assigning whole branches to processors beats splitting
+// every layer.
+//
+// The same planner, restricted, produces the paper's baselines: single-
+// processor plans (one processor allowed) and the state-of-the-art
+// layer-to-processor plan (both processors allowed, splitting disabled).
+package partition
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mulayer/internal/device"
+	"mulayer/internal/graph"
+	"mulayer/internal/nn"
+	"mulayer/internal/profile"
+	"mulayer/internal/soc"
+	"mulayer/internal/tensor"
+)
+
+// Proc identifies a processor within a SoC.
+type Proc int
+
+// The processors of the modeled SoCs. ProcNPU exists only on NPU-equipped
+// SoC variants (the §8.3 extension).
+const (
+	ProcCPU Proc = iota
+	ProcGPU
+	ProcNPU
+)
+
+// String implements fmt.Stringer.
+func (p Proc) String() string {
+	switch p {
+	case ProcCPU:
+		return "CPU"
+	case ProcGPU:
+		return "GPU"
+	case ProcNPU:
+		return "NPU"
+	}
+	return fmt.Sprintf("Proc(%d)", int(p))
+}
+
+// Pipeline describes which arithmetic each processor uses and how
+// activations are stored between layers.
+type Pipeline struct {
+	// CPUType and GPUType are the compute data types per processor.
+	CPUType, GPUType tensor.DataType
+	// NPUType is the compute data type of the NPU on NPU-equipped SoCs
+	// (§8.3: an NPU-friendly scheme, QUInt8 for TPU-class accelerators).
+	NPUType tensor.DataType
+	// GPUConverted marks the GPU pipeline as QUInt8-storage/F16-compute
+	// (the on-the-fly conversion of processor-friendly quantization).
+	GPUConverted bool
+	// Storage is the at-rest activation data type.
+	Storage tensor.DataType
+}
+
+// Uniform returns a pipeline where every processor computes and stores dt.
+func Uniform(dt tensor.DataType) Pipeline {
+	return Pipeline{CPUType: dt, GPUType: dt, NPUType: dt, Storage: dt}
+}
+
+// ProcessorFriendly returns the paper's processor-friendly quantization
+// pipeline (§4.2): QUInt8 storage everywhere, QUInt8 compute on the CPU,
+// F16 compute with on-the-fly conversion on the GPU.
+func ProcessorFriendly() Pipeline {
+	return Pipeline{
+		CPUType:      tensor.QUInt8,
+		GPUType:      tensor.F16,
+		NPUType:      tensor.QUInt8, // NPUs are integer-native (§8.3)
+		GPUConverted: true,
+		Storage:      tensor.QUInt8,
+	}
+}
+
+// ComputeType returns the compute data type for one processor.
+func (pl Pipeline) ComputeType(p Proc) tensor.DataType {
+	switch p {
+	case ProcCPU:
+		return pl.CPUType
+	case ProcNPU:
+		return pl.NPUType
+	}
+	return pl.GPUType
+}
+
+// Converted reports whether the processor's kernels convert between
+// storage and compute types on the fly.
+func (pl Pipeline) Converted(p Proc) bool {
+	return p == ProcGPU && pl.GPUConverted
+}
+
+// WeightBytes returns the per-element weight storage width on a processor:
+// μLayer uploads GPU filters dequantized to F16 (§6), so the converted
+// pipeline reads 2-byte weights on the GPU and 1-byte weights on the CPU.
+func (pl Pipeline) WeightBytes(p Proc) int64 {
+	if pl.Converted(p) {
+		return tensor.F16.Size()
+	}
+	return pl.ComputeType(p).Size()
+}
+
+// LayerStep executes one layer with split ratio P: the CPU computes the
+// fraction P of the output channels and the GPU the remainder. P==1 and
+// P==0 are single-processor steps. On NPU-equipped SoCs (§8.3) PNPU
+// carves an additional share for the NPU; the GPU computes 1-P-PNPU.
+type LayerStep struct {
+	Node graph.NodeID
+	P    float64
+	PNPU float64
+}
+
+// BranchStep executes one fork-join branch group with whole branches
+// assigned to processors; no layer inside is channel-split (§5).
+type BranchStep struct {
+	Group  graph.BranchGroup
+	Assign []Proc // Assign[i] runs Group.Branches[i]
+}
+
+// Step is one plan entry: exactly one of Layer or Branch is set.
+type Step struct {
+	Layer  *LayerStep
+	Branch *BranchStep
+}
+
+// Plan is an ordered execution plan covering every non-input node exactly
+// once.
+type Plan struct {
+	Steps     []Step
+	Predicted time.Duration // planner's own latency estimate
+}
+
+// Options configures the planner.
+type Options struct {
+	SoC  *soc.SoC
+	Pred *profile.Predictor
+	Pipe Pipeline
+	// Grid lists the cooperative split ratios considered (the paper uses
+	// {0.25, 0.5, 0.75}); 0 and 1 are always candidates.
+	Grid []float64
+	// AllowCPU/AllowGPU restrict the processors (single-processor
+	// baselines disable one side).
+	AllowCPU, AllowGPU bool
+	// AllowSplit enables the channel-wise workload distribution. With it
+	// disabled and both processors allowed, the planner degenerates to the
+	// layer-to-processor mechanism.
+	AllowSplit bool
+	// BranchDist enables branch distribution over fork-join groups.
+	BranchDist bool
+	// AllowNPU adds the SoC's NPU (when present) as a third cooperative
+	// target: three-way channel splits and three-way branch assignment —
+	// the §8.3 extension.
+	AllowNPU bool
+	// NPUOnly runs the whole network on the NPU (the accelerator-only
+	// baseline of the §8.3 experiments).
+	NPUOnly bool
+	// SingleFallback additionally considers p=0 and p=1 for splittable
+	// layers, spanning the paper's full "0 ≤ p ≤ 1" ratio range (§6).
+	// With it off, the planner uses only the interior implementation grid
+	// {0.25, 0.5, 0.75} — every splittable layer is force-split, the
+	// behavior Figure 12 labels "Cooperative" and §5 motivates branch
+	// distribution against.
+	SingleFallback bool
+	// ForceBranch branch-distributes every fork-join group regardless of
+	// the cost comparison — Figure 12's "Cooperative (Optimal)" scenario.
+	ForceBranch bool
+}
+
+// DefaultGrid is the paper's split-ratio grid (§6).
+var DefaultGrid = []float64{0.25, 0.5, 0.75}
+
+// Validate checks the option combination.
+func (o Options) Validate() error {
+	if o.SoC == nil || o.Pred == nil {
+		return fmt.Errorf("partition: SoC and predictor are required")
+	}
+	if !o.AllowCPU && !o.AllowGPU && !o.NPUOnly {
+		return fmt.Errorf("partition: at least one processor must be allowed")
+	}
+	if o.NPUOnly && o.SoC != nil && o.SoC.NPU == nil {
+		return fmt.Errorf("partition: NPUOnly requires an NPU-equipped SoC")
+	}
+	for _, g := range o.Grid {
+		if g <= 0 || g >= 1 {
+			return fmt.Errorf("partition: grid ratio %v outside (0,1)", g)
+		}
+	}
+	return nil
+}
+
+// proc returns the device model for one processor.
+func (o Options) proc(p Proc) *device.Processor {
+	switch p {
+	case ProcCPU:
+		return o.SoC.CPU
+	case ProcNPU:
+		return o.SoC.NPU
+	}
+	return o.SoC.GPU
+}
+
+// predictKernel estimates the kernel time of one full layer on a
+// processor (no dispatch overhead).
+func (o Options) predictKernel(p Proc, kind nn.OpKind, c nn.Cost) time.Duration {
+	return o.Pred.Predict(o.proc(p).Name, kind, o.Pipe.ComputeType(p), o.Pipe.Converted(p), c)
+}
+
+// predictOn estimates one full layer's latency on a processor, including
+// its kernel-launch overhead.
+func (o Options) predictOn(p Proc, kind nn.OpKind, c nn.Cost) time.Duration {
+	return o.predictKernel(p, kind, c) + o.proc(p).LaunchOverhead
+}
+
+// coopSync estimates the per-layer merge synchronization of a cooperative
+// layer: the zero-copy map/unmap maintains coherence over the shared input
+// and output buffers.
+func (o Options) coopSync(c nn.Cost) time.Duration {
+	return o.SoC.SyncCost((c.InElems + c.OutElems) * o.Pipe.Storage.Size())
+}
+
+// bestSplit scores the allowed executions of one layer and returns the
+// chosen ratio and its predicted latency. Following §6, a splittable
+// layer under cooperative execution picks from the grid only — the
+// predictor scales each side linearly by its share, derated by the
+// partial-kernel channel efficiency — plus the single-processor ratios
+// when the SingleFallback extension is on.
+func (o Options) bestSplit(kind nn.OpKind, c nn.Cost, splitCh int) (float64, time.Duration) {
+	bestP := -1.0
+	var bestT time.Duration
+	consider := func(p float64, t time.Duration) {
+		if bestP < 0 || t < bestT {
+			bestP, bestT = p, t
+		}
+	}
+	coop := splitCh > 1 && o.AllowSplit && o.AllowCPU && o.AllowGPU
+	if coop {
+		cpuFull := o.predictKernel(ProcCPU, kind, c)
+		gpuFull := o.predictKernel(ProcGPU, kind, c)
+		cpu := o.proc(ProcCPU)
+		gpu := o.proc(ProcGPU)
+		sync := o.coopSync(c)
+		for _, p := range o.Grid {
+			cpuCh := int(math.Round(p * float64(splitCh)))
+			if cpuCh < 1 {
+				cpuCh = 1
+			}
+			if cpuCh > splitCh-1 {
+				cpuCh = splitCh - 1
+			}
+			gpuCh := splitCh - cpuCh
+			pe := float64(cpuCh) / float64(splitCh)
+			cpuT := time.Duration(float64(cpuFull)*pe/cpu.SplitEfficiency(cpuCh)) + cpu.LaunchOverhead
+			gpuT := time.Duration(float64(gpuFull)*(1-pe)/gpu.SplitEfficiency(gpuCh)) + gpu.LaunchOverhead
+			t := cpuT
+			if gpuT > t {
+				t = gpuT
+			}
+			consider(p, t+sync)
+		}
+	}
+	if !coop || o.SingleFallback {
+		if o.AllowCPU {
+			consider(1, o.predictOn(ProcCPU, kind, c))
+		}
+		if o.AllowGPU {
+			consider(0, o.predictOn(ProcGPU, kind, c))
+		}
+	}
+	if bestP < 0 {
+		panic("partition: no processor allowed")
+	}
+	return bestP, bestT
+}
+
+// nonSplitProc places layers that must run whole (concat, softmax) —
+// the CPU when available, since the merged activations live in shared
+// memory mapped on the CPU side.
+func (o Options) nonSplitProc() float64 {
+	if o.AllowCPU {
+		return 1
+	}
+	return 0
+}
+
+// Build produces the execution plan for g.
+func Build(g *graph.Graph, o Options) (*Plan, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if o.AllowSplit && len(o.Grid) == 0 {
+		o.Grid = DefaultGrid
+	}
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.Toposort()
+	if err != nil {
+		return nil, err
+	}
+
+	// Decide branch distribution per group.
+	type groupPlan struct {
+		step    *BranchStep
+		est     time.Duration
+		emitted bool
+	}
+	inGroup := make(map[graph.NodeID]*groupPlan)
+	if o.BranchDist && o.AllowCPU && o.AllowGPU {
+		for _, bg := range g.BranchGroups() {
+			// §5: branch decisions work from collected per-branch execution
+			// latencies (the device model here), not the regression.
+			var assign []Proc
+			var branchT, coopT time.Duration
+			if o.npuEnabled() {
+				assign, branchT = o.simBranchSearch3(g, bg, shapes)
+				coopT = o.simCoopGroup3(g, bg, shapes)
+			} else {
+				assign, branchT = o.simBranchAssign(g, bg, shapes)
+				coopT = o.simCoopGroup(g, bg, shapes)
+			}
+			if assign == nil {
+				continue
+			}
+			// Compare against executing the same nodes with the per-layer
+			// plan (serialized layers), unless branch distribution is
+			// forced.
+			if o.ForceBranch || branchT < coopT {
+				gp := &groupPlan{step: &BranchStep{Group: bg, Assign: assign}, est: branchT}
+				for id := range bg.Members() {
+					inGroup[id] = gp
+				}
+			}
+		}
+	}
+
+	plan := &Plan{}
+	var predicted time.Duration
+	for _, id := range order {
+		n := g.Node(id)
+		if n.Layer.Kind() == nn.OpInput {
+			continue
+		}
+		if gp, ok := inGroup[id]; ok {
+			if !gp.emitted {
+				plan.Steps = append(plan.Steps, Step{Branch: gp.step})
+				predicted += gp.est
+				gp.emitted = true
+			}
+			continue
+		}
+		ins := g.InputShapes(id, shapes)
+		cost := n.Layer.Cost(ins)
+		kind := n.Layer.Kind()
+		splitCh := n.Layer.SplitChannels(ins)
+		var p, pn float64
+		var t time.Duration
+		switch {
+		case o.NPUOnly:
+			pn = 1
+			t = o.predictOn(ProcNPU, kind, cost)
+		case kind == nn.OpConcat || kind == nn.OpSoftmax:
+			p = o.nonSplitProc()
+			t = o.predictOn(procOf(p), kind, cost)
+		case o.npuEnabled() && splitCh > 1:
+			p, pn, t = o.bestSplit3(kind, cost, splitCh)
+		case o.npuEnabled():
+			p, pn, t = o.bestSingle3(kind, cost)
+		default:
+			p, t = o.bestSplit(kind, cost, splitCh)
+		}
+		plan.Steps = append(plan.Steps, Step{Layer: &LayerStep{Node: id, P: p, PNPU: pn}})
+		predicted += t
+	}
+	plan.Predicted = predicted
+	return plan, nil
+}
+
+func procOf(p float64) Proc {
+	if p > 0 {
+		return ProcCPU
+	}
+	return ProcGPU
+}
+
+// Covered returns the set of nodes the plan executes; tests use it to
+// verify exactly-once coverage.
+func (p *Plan) Covered() map[graph.NodeID]int {
+	seen := make(map[graph.NodeID]int)
+	for _, s := range p.Steps {
+		switch {
+		case s.Layer != nil:
+			seen[s.Layer.Node]++
+		case s.Branch != nil:
+			for _, br := range s.Branch.Group.Branches {
+				for _, id := range br {
+					seen[id]++
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// SplitCount returns how many steps use a true cooperative split (two or
+// more processors active) — a diagnostic for the experiments.
+func (p *Plan) SplitCount() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Layer == nil {
+			continue
+		}
+		active := 0
+		for _, share := range []float64{s.Layer.P, s.Layer.PNPU, 1 - s.Layer.P - s.Layer.PNPU} {
+			if share > 1e-9 {
+				active++
+			}
+		}
+		if active >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// BranchCount returns the number of branch-distributed groups in the plan.
+func (p *Plan) BranchCount() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Branch != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"mulayer/internal/nn"
+	"mulayer/internal/soc"
+	"mulayer/internal/tensor"
+)
+
+func TestBuildCoversAllModels(t *testing.T) {
+	s := soc.Exynos7420()
+	pr := Build(s.CPU, s.GPU)
+	// 2 procs × (10 kinds × 3 dtypes + 10 converted) = 80.
+	if pr.Models() != 80 {
+		t.Fatalf("models = %d, want 80", pr.Models())
+	}
+}
+
+func TestPredictMonotoneInWork(t *testing.T) {
+	s := soc.Exynos7420()
+	pr := Build(s.CPU, s.GPU)
+	small := nn.Cost{MACs: 1e6, InElems: 1e5, WElems: 1e4, OutElems: 1e5}
+	big := nn.Cost{MACs: 1e9, InElems: 1e7, WElems: 1e6, OutElems: 1e7}
+	for _, dt := range tensor.AllDataTypes {
+		ts := pr.Predict(s.CPU.Name, nn.OpConv, dt, false, small)
+		tb := pr.Predict(s.CPU.Name, nn.OpConv, dt, false, big)
+		if tb <= ts || ts <= 0 {
+			t.Fatalf("%v: predict(big)=%v <= predict(small)=%v", dt, tb, ts)
+		}
+	}
+}
+
+func TestPredictTracksDeviceModel(t *testing.T) {
+	// The regression should land within ~35% of the device model for conv
+	// workloads inside the profiled range.
+	s := soc.Exynos7420()
+	pr := Build(s.CPU, s.GPU)
+	l := &nn.Conv2D{LayerName: "c", InC: 128, OutC: 128, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	in := tensor.Shape{N: 1, C: 128, H: 28, W: 28}
+	c := l.Cost([]tensor.Shape{in})
+	for _, dt := range tensor.AllDataTypes {
+		w := workFor(nn.OpConv, c, dt, false)
+		truth := s.CPU.KernelTime(w)
+		pred := pr.Predict(s.CPU.Name, nn.OpConv, dt, false, c)
+		r := float64(pred) / float64(truth)
+		if r < 0.65 || r > 1.55 {
+			t.Fatalf("%v: pred %v vs device %v (ratio %.2f)", dt, pred, truth, r)
+		}
+	}
+}
+
+func TestPredictSplitScalesLinearly(t *testing.T) {
+	s := soc.Exynos7420()
+	pr := Build(s.CPU, s.GPU)
+	c := nn.Cost{MACs: 5e8, InElems: 1e6, WElems: 1e6, OutElems: 1e6}
+	full := pr.Predict(s.CPU.Name, nn.OpConv, tensor.QUInt8, false, c)
+	half := pr.PredictSplit(s.CPU.Name, nn.OpConv, tensor.QUInt8, false, c, 0.5)
+	if half != full/2 {
+		t.Fatalf("split 0.5: %v, want %v", half, full/2)
+	}
+	if pr.PredictSplit(s.CPU.Name, nn.OpConv, tensor.QUInt8, false, c, 0) != 0 {
+		t.Fatal("p=0 must predict zero work")
+	}
+}
+
+func TestPredictConvertedPipelineDistinct(t *testing.T) {
+	s := soc.Exynos7420()
+	pr := Build(s.CPU, s.GPU)
+	c := nn.Cost{MACs: 5e8, InElems: 2e6, WElems: 1e6, OutElems: 2e6}
+	plain := pr.Predict(s.GPU.Name, nn.OpConv, tensor.F16, false, c)
+	conv := pr.Predict(s.GPU.Name, nn.OpConv, tensor.F16, true, c)
+	if plain <= 0 || conv <= 0 {
+		t.Fatal("predictions must be positive")
+	}
+	if plain == conv {
+		t.Fatal("converted pipeline must have its own model")
+	}
+}
+
+func TestPredictorReproducesProcessorPreferences(t *testing.T) {
+	// The predictor must preserve the Figure 8 ordering the partitioner
+	// relies on: CPU prefers QUInt8, GPU prefers F16.
+	for _, s := range soc.All() {
+		pr := Build(s.CPU, s.GPU)
+		c := nn.Cost{MACs: 1e9, InElems: 4e6, WElems: 1e6, OutElems: 4e6}
+		cpuF32 := pr.Predict(s.CPU.Name, nn.OpConv, tensor.F32, false, c)
+		cpuU8 := pr.Predict(s.CPU.Name, nn.OpConv, tensor.QUInt8, false, c)
+		if cpuU8 >= cpuF32 {
+			t.Errorf("%s: CPU QUInt8 %v !< F32 %v", s.Name, cpuU8, cpuF32)
+		}
+		gpuF32 := pr.Predict(s.GPU.Name, nn.OpConv, tensor.F32, false, c)
+		gpuF16 := pr.Predict(s.GPU.Name, nn.OpConv, tensor.F16, false, c)
+		if gpuF16 >= gpuF32 {
+			t.Errorf("%s: GPU F16 %v !< F32 %v", s.Name, gpuF16, gpuF32)
+		}
+	}
+}
+
+func TestFitErrorIsModest(t *testing.T) {
+	s := soc.Exynos7420()
+	pr := Build(s.CPU, s.GPU)
+	if e := FitError(pr, s.CPU, nn.OpConv, tensor.F32); e > 0.5 {
+		t.Fatalf("conv fit error %.2f too large", e)
+	}
+}
+
+func TestPredictUnknownProcFallsBackToZero(t *testing.T) {
+	pr := &Predictor{models: map[Key]linModel{}}
+	if got := pr.Predict("nope", nn.OpConv, tensor.F32, false, nn.Cost{MACs: 1}); got != 0 {
+		t.Fatalf("unknown processor should predict 0, got %v", got)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if m := fit(nil); m.ok {
+		t.Fatal("empty fit must be not-ok")
+	}
+	if m := fit([]trainPoint{{1, time.Millisecond}}); m.ok {
+		t.Fatal("single-point fit must be not-ok")
+	}
+	// Identical x values: singular system.
+	if m := fit([]trainPoint{{100, time.Millisecond}, {100, 2 * time.Millisecond}}); m.ok {
+		t.Fatal("singular fit must be not-ok")
+	}
+}
+
+func TestFeatureFallsBackToElems(t *testing.T) {
+	c := nn.Cost{MACs: 0, InElems: 100, OutElems: 100}
+	if feature(nn.OpConcat, c) != 200 {
+		t.Fatalf("concat feature = %v", feature(nn.OpConcat, c))
+	}
+	if feature(nn.OpConv, nn.Cost{}) != 1 {
+		t.Fatal("zero cost must clamp to 1")
+	}
+}

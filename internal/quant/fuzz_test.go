@@ -1,0 +1,90 @@
+package quant
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzChooseParams checks the affine-grid invariants on arbitrary ranges:
+// positive scale, exact zero representability, and range coverage.
+func FuzzChooseParams(f *testing.F) {
+	f.Add(float32(-1), float32(1))
+	f.Add(float32(0), float32(0))
+	f.Add(float32(2), float32(10))
+	f.Add(float32(-10), float32(-2))
+	f.Add(float32(-6e4), float32(6e4))
+	f.Fuzz(func(t *testing.T, lo, hi float32) {
+		if math.IsNaN(float64(lo)) || math.IsNaN(float64(hi)) ||
+			math.IsInf(float64(lo), 0) || math.IsInf(float64(hi), 0) {
+			return
+		}
+		if math.Abs(float64(lo)) > 1e30 || math.Abs(float64(hi)) > 1e30 {
+			return
+		}
+		p := ChooseParams(lo, hi)
+		if p.Scale <= 0 || math.IsNaN(float64(p.Scale)) || math.IsInf(float64(p.Scale), 0) {
+			t.Fatalf("ChooseParams(%g,%g) scale %g", lo, hi, p.Scale)
+		}
+		if got := p.Dequantize(p.Quantize(0)); got != 0 {
+			t.Fatalf("zero not exactly representable: %g", got)
+		}
+		// Quantize never escapes [0,255] by construction of uint8, but the
+		// round-trip must stay within half a step inside the range.
+		for _, v := range []float32{p.RangeMin(), p.RangeMax(), (p.RangeMin() + p.RangeMax()) / 2} {
+			back := p.Dequantize(p.Quantize(v))
+			if math.Abs(float64(back-v)) > float64(p.Scale)*0.5001 {
+				t.Fatalf("round-trip error for %g: got %g (scale %g)", v, back, p.Scale)
+			}
+		}
+	})
+}
+
+// FuzzRequantize checks the fixed-point pipeline against the float
+// reference on arbitrary accumulators and grids.
+func FuzzRequantize(f *testing.F) {
+	f.Add(int32(0), float32(2), float32(0.5), float32(4))
+	f.Add(int32(100000), float32(1), float32(1), float32(1))
+	f.Add(int32(-100000), float32(3), float32(0.25), float32(8))
+	f.Fuzz(func(t *testing.T, acc int32, inR, wR, outR float32) {
+		for _, r := range []float32{inR, wR, outR} {
+			if math.IsNaN(float64(r)) || math.IsInf(float64(r), 0) || r <= 1e-6 || r > 1e6 {
+				return
+			}
+		}
+		if acc > 1<<24 || acc < -(1<<24) {
+			return
+		}
+		in := ChooseParams(-inR, inR)
+		w := ChooseParams(-wR, wR)
+		out := ChooseParams(-outR, outR)
+		req := NewRequantizer(in, w, out, ActNone)
+		got := req.Requantize(acc)
+		real := float64(acc) * float64(in.Scale) * float64(w.Scale)
+		want := math.Round(real/float64(out.Scale)) + float64(out.ZeroPoint)
+		if want < 0 {
+			want = 0
+		}
+		if want > 255 {
+			want = 255
+		}
+		if math.Abs(float64(got)-want) > 1 {
+			t.Fatalf("requantize(%d) grids(%v,%v,%v) = %d, float says %g", acc, in, w, out, got, want)
+		}
+	})
+}
+
+// FuzzRoundingDivideByPOT checks the rounding division against float math.
+func FuzzRoundingDivideByPOT(f *testing.F) {
+	f.Add(int32(100), uint8(3))
+	f.Add(int32(-100), uint8(3))
+	f.Add(int32(0), uint8(0))
+	f.Fuzz(func(t *testing.T, x int32, e uint8) {
+		exp := int(e % 31)
+		got := RoundingDivideByPOT(x, exp)
+		want := math.Round(float64(x) / math.Pow(2, float64(exp)))
+		// math.Round ties away from zero, matching the primitive.
+		if float64(got) != want {
+			t.Fatalf("RDivByPOT(%d,%d) = %d, want %g", x, exp, got, want)
+		}
+	})
+}

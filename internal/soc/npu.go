@@ -1,0 +1,56 @@
+package soc
+
+import (
+	"time"
+
+	"mulayer/internal/device"
+	"mulayer/internal/tensor"
+)
+
+// This file implements the paper's §8.3 extension: "the channel-wise
+// workload distribution can be extended to distribute a layer's output
+// channels to not only the CPU and the GPU, but also the NPU", with an
+// NPU-friendly quantization scheme (QUInt8, like Google's TPU) and
+// three-way branch distribution.
+//
+// No Exynos 7420/7880 shipped an NPU, so the NPU model is a hypothetical
+// 2018-class edge accelerator in the spirit of the parts §8.3 cites
+// (HiSilicon Kirin 970 NPU, Google Edge TPU, Intel Myriad X): a systolic
+// integer engine roughly 2× the CPU's sustained QUInt8 throughput, very
+// energy-efficient per MAC, nearly useless for floating point, and with a
+// heavyweight driver dispatch path.
+
+// EdgeNPU builds the hypothetical NPU processor model.
+func EdgeNPU() *device.Processor {
+	return &device.Processor{
+		Name: "EdgeNPU(2x systolic@0.9GHz)", Type: device.NPU,
+		Cores: 2, FreqGHz: 0.9,
+		MACsPerCycle: map[tensor.DataType]float64{
+			tensor.QUInt8: 11.1, // ~20 GMAC/s sustained: the integer engine
+			tensor.F16:    0.5,  // token floating-point support
+			tensor.F32:    0.25,
+		},
+		EffByKind:        effByKind(0.30),
+		MemBWGBs:         10.0,
+		CacheBytes:       1 << 20, // on-chip unified buffer
+		CacheSpillFactor: 0.75,
+		LaunchOverhead:   200 * time.Microsecond, // driver round-trip
+		ConvertPenalty:   1.10,
+		SplitChannelKnee: 16, // systolic arrays hate narrow output tiles
+		PicoJPerMAC: map[tensor.DataType]float64{
+			tensor.QUInt8: 15, // the headline efficiency of edge NPUs
+			tensor.F16:    120,
+			tensor.F32:    200,
+		},
+		ActivePowerW: 1.2,
+	}
+}
+
+// Exynos7420NPU is the high-end SoC augmented with the hypothetical edge
+// NPU — the platform for the §8.3 extension experiments.
+func Exynos7420NPU() *SoC {
+	s := Exynos7420()
+	s.Name = "Exynos 7420 + EdgeNPU (hypothetical, §8.3)"
+	s.NPU = EdgeNPU()
+	return s
+}

@@ -1,0 +1,121 @@
+package soc
+
+import (
+	"testing"
+
+	"mulayer/internal/device"
+	"mulayer/internal/nn"
+	"mulayer/internal/tensor"
+)
+
+func TestBothSoCsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// convWork builds a representative large conv kernel for ratio checks.
+func convWork(dt tensor.DataType) device.Work {
+	return device.Work{Kind: nn.OpConv, MACs: 2e9, MovedBytes: 4e6, WorkingSetBytes: 4e6, Compute: dt}
+}
+
+func TestHighEndGPUOverCPURatioF32(t *testing.T) {
+	// Figure 5a / §3.1: the T760MP8 achieves an average speedup of only
+	// 1.40× over the A57 cluster at F32.
+	s := Exynos7420()
+	cpu := s.CPU.KernelTime(convWork(tensor.F32))
+	gpu := s.GPU.KernelTime(convWork(tensor.F32))
+	ratio := float64(cpu) / float64(gpu)
+	if ratio < 1.3 || ratio > 1.5 {
+		t.Fatalf("GPU/CPU F32 speedup = %.3f, want ≈1.40", ratio)
+	}
+}
+
+func TestMidRangeCPUBeatsGPU(t *testing.T) {
+	// §3.1: on Exynos 7880 the octa-core CPU achieves 26.1% lower latency
+	// than the triple-core GPU.
+	s := Exynos7880()
+	cpu := s.CPU.KernelTime(convWork(tensor.F32))
+	gpu := s.GPU.KernelTime(convWork(tensor.F32))
+	reduction := 1 - float64(cpu)/float64(gpu)
+	if reduction < 0.20 || reduction > 0.32 {
+		t.Fatalf("CPU latency reduction vs GPU = %.3f, want ≈0.26", reduction)
+	}
+}
+
+func TestQuantizationSpeedShapes(t *testing.T) {
+	// Figure 8's qualitative shapes, on both SoCs:
+	// CPU: QUInt8 ≫ F32, F16 ≈ F32. GPU: F16 ≫ F32, QUInt8 slower than F32.
+	for _, s := range All() {
+		cf32 := s.CPU.KernelTime(convWork(tensor.F32))
+		cf16 := s.CPU.KernelTime(convWork(tensor.F16))
+		cu8 := s.CPU.KernelTime(convWork(tensor.QUInt8))
+		// Emulated F16 is F32 arithmetic plus conversions: no faster, at
+		// most mildly slower ("no performance difference can be observed").
+		if cf16 < cf32 || float64(cf16) > 1.3*float64(cf32) {
+			t.Errorf("%s: CPU F16 %v should approximate F32 %v", s.Name, cf16, cf32)
+		}
+		speedup := float64(cf32) / float64(cu8)
+		if speedup < 1.8 || speedup > 2.6 {
+			t.Errorf("%s: CPU QUInt8 speedup %.2f, want ≈2.2", s.Name, speedup)
+		}
+		gf32 := s.GPU.KernelTime(convWork(tensor.F32))
+		gf16 := s.GPU.KernelTime(convWork(tensor.F16))
+		gu8 := s.GPU.KernelTime(convWork(tensor.QUInt8))
+		if g := float64(gf32) / float64(gf16); g < 1.7 || g > 2.1 {
+			t.Errorf("%s: GPU F16 speedup %.2f, want ≈1.9", s.Name, g)
+		}
+		if gu8 <= gf32 {
+			t.Errorf("%s: GPU QUInt8 must be slower than F32 (32-bit accumulation)", s.Name)
+		}
+	}
+}
+
+func TestCooperativePotential(t *testing.T) {
+	// The premise of cooperative single-layer acceleration (§3.1): with the
+	// processor-friendly types, combined throughput clearly beats either
+	// processor alone on both SoCs.
+	for _, s := range All() {
+		cu8 := s.CPU.PeakMACs(tensor.QUInt8)
+		gf16 := s.GPU.PeakMACs(tensor.F16)
+		best := cu8
+		if gf16 > best {
+			best = gf16
+		}
+		gain := (cu8 + gf16) / best
+		if gain < 1.4 {
+			t.Errorf("%s: cooperative peak gain %.2f too small for the mechanism to pay off", s.Name, gain)
+		}
+	}
+}
+
+func TestHighEndFasterThanMidRange(t *testing.T) {
+	hi, mid := Exynos7420(), Exynos7880()
+	if hi.CPU.PeakMACs(tensor.F32) <= mid.CPU.PeakMACs(tensor.F32) {
+		t.Error("high-end CPU must outrun mid-range CPU")
+	}
+	if hi.GPU.PeakMACs(tensor.F32) <= mid.GPU.PeakMACs(tensor.F32) {
+		t.Error("high-end GPU must outrun mid-range GPU")
+	}
+}
+
+func TestGPULaunchDominatesCPULaunch(t *testing.T) {
+	for _, s := range All() {
+		if s.GPU.LaunchOverhead <= s.CPU.LaunchOverhead {
+			t.Errorf("%s: OpenCL dispatch must cost more than a thread-pool wake", s.Name)
+		}
+		if s.SyncOverhead <= 0 || s.CopySyncOverhead <= s.SyncOverhead {
+			t.Errorf("%s: zero-copy sync must be cheaper than copy-based sync", s.Name)
+		}
+	}
+}
+
+func TestProcessorsOrder(t *testing.T) {
+	s := Exynos7420()
+	ps := s.Processors()
+	if len(ps) != 2 || ps[0].Type != device.CPU || ps[1].Type != device.GPU {
+		t.Fatal("Processors() must return CPU then GPU")
+	}
+}

@@ -1,0 +1,326 @@
+// Package tensor provides the dense NCHW tensor types μLayer computes on:
+// 32-bit floats (the NN default), IEEE binary16 halves (the GPU-friendly
+// type), and 8-bit linearly quantized integers (the CPU-friendly type and
+// the at-rest storage format under processor-friendly quantization).
+//
+// The NCHW layout keeps each channel's H×W plane contiguous, which makes
+// μLayer's channel-wise workload distribution a pair of contiguous range
+// operations: a [c0,c1) slice of the output channels of one batch element
+// is one contiguous span.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"mulayer/internal/f16"
+	"mulayer/internal/quant"
+)
+
+// DataType identifies the element type of a tensor and of an arithmetic
+// pipeline. μLayer's processor-friendly quantization stores data as QUInt8
+// and computes in QUInt8 on the CPU and in F16 on the GPU.
+type DataType int
+
+// The data types of the paper (§4.1).
+const (
+	F32    DataType = iota // 32-bit single-precision float (NN default)
+	F16                    // 16-bit half-precision float (GPU native)
+	QUInt8                 // 8-bit linearly quantized unsigned integer (CPU native)
+)
+
+// String implements fmt.Stringer.
+func (d DataType) String() string {
+	switch d {
+	case F32:
+		return "F32"
+	case F16:
+		return "F16"
+	case QUInt8:
+		return "QUInt8"
+	}
+	return fmt.Sprintf("DataType(%d)", int(d))
+}
+
+// Size returns the element size in bytes.
+func (d DataType) Size() int64 {
+	switch d {
+	case F32:
+		return 4
+	case F16:
+		return 2
+	case QUInt8:
+		return 1
+	}
+	panic(fmt.Sprintf("tensor: unknown data type %d", int(d)))
+}
+
+// AllDataTypes lists every supported data type, in paper order.
+var AllDataTypes = []DataType{F32, F16, QUInt8}
+
+// Shape is a 4-D NCHW shape. Filters use the same struct with the
+// convention N=output channels, C=input channels (OIHW).
+type Shape struct {
+	N, C, H, W int
+}
+
+// Elems returns the number of elements in the shape.
+func (s Shape) Elems() int { return s.N * s.C * s.H * s.W }
+
+// Valid reports whether every dimension is positive.
+func (s Shape) Valid() bool { return s.N > 0 && s.C > 0 && s.H > 0 && s.W > 0 }
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", s.N, s.C, s.H, s.W)
+}
+
+// Index returns the flat NCHW offset of element (n,c,h,w).
+func (s Shape) Index(n, c, h, w int) int {
+	return ((n*s.C+c)*s.H+h)*s.W + w
+}
+
+// ChannelSpan returns the [lo,hi) flat range covering channels [c0,c1) of
+// batch element n. The span is contiguous because of the NCHW layout.
+func (s Shape) ChannelSpan(n, c0, c1 int) (lo, hi int) {
+	plane := s.H * s.W
+	base := n * s.C * plane
+	return base + c0*plane, base + c1*plane
+}
+
+// Tensor is a dense float32 NCHW tensor.
+type Tensor struct {
+	Shape Shape
+	Data  []float32
+}
+
+// New allocates a zeroed float32 tensor.
+func New(s Shape) *Tensor {
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &Tensor{Shape: s, Data: make([]float32, s.Elems())}
+}
+
+// NewFrom wraps existing data (no copy). len(data) must equal s.Elems().
+func NewFrom(s Shape, data []float32) *Tensor {
+	if len(data) != s.Elems() {
+		panic(fmt.Sprintf("tensor: data length %d != shape %v elems %d", len(data), s, s.Elems()))
+	}
+	return &Tensor{Shape: s, Data: data}
+}
+
+// At returns element (n,c,h,w).
+func (t *Tensor) At(n, c, h, w int) float32 { return t.Data[t.Shape.Index(n, c, h, w)] }
+
+// Set stores element (n,c,h,w).
+func (t *Tensor) Set(n, c, h, w int, v float32) { t.Data[t.Shape.Index(n, c, h, w)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Range returns the min and max element. It panics on an empty tensor.
+func (t *Tensor) Range() (min, max float32) {
+	min, max = t.Data[0], t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two tensors of identical shape.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float64 {
+	if t.Shape != o.Shape {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	var m float64
+	for i, v := range t.Data {
+		if d := math.Abs(float64(v - o.Data[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// CopyChannels copies channels [c0,c1) of every batch element from src into
+// the same channel positions of t. Shapes must agree except that both
+// tensors simply need c1 ≤ C. This is the merge step of the channel-wise
+// workload distribution.
+func (t *Tensor) CopyChannels(src *Tensor, c0, c1 int) {
+	if t.Shape != src.Shape {
+		panic("tensor: CopyChannels shape mismatch")
+	}
+	for n := 0; n < t.Shape.N; n++ {
+		lo, hi := t.Shape.ChannelSpan(n, c0, c1)
+		copy(t.Data[lo:hi], src.Data[lo:hi])
+	}
+}
+
+// HTensor is a dense binary16 NCHW tensor.
+type HTensor struct {
+	Shape Shape
+	Data  []f16.F16
+}
+
+// NewH allocates a zeroed half-precision tensor.
+func NewH(s Shape) *HTensor {
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &HTensor{Shape: s, Data: make([]f16.F16, s.Elems())}
+}
+
+// At returns element (n,c,h,w).
+func (t *HTensor) At(n, c, h, w int) f16.F16 { return t.Data[t.Shape.Index(n, c, h, w)] }
+
+// Set stores element (n,c,h,w).
+func (t *HTensor) Set(n, c, h, w int, v f16.F16) { t.Data[t.Shape.Index(n, c, h, w)] = v }
+
+// QTensor is a dense 8-bit linearly quantized NCHW tensor with per-tensor
+// quantization parameters.
+type QTensor struct {
+	Shape  Shape
+	Data   []uint8
+	Params quant.Params
+}
+
+// NewQ allocates a zeroed quantized tensor with the given parameters.
+func NewQ(s Shape, p quant.Params) *QTensor {
+	if !s.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", s))
+	}
+	return &QTensor{Shape: s, Data: make([]uint8, s.Elems()), Params: p}
+}
+
+// At returns element (n,c,h,w).
+func (t *QTensor) At(n, c, h, w int) uint8 { return t.Data[t.Shape.Index(n, c, h, w)] }
+
+// Set stores element (n,c,h,w).
+func (t *QTensor) Set(n, c, h, w int, v uint8) { t.Data[t.Shape.Index(n, c, h, w)] = v }
+
+// Clone returns a deep copy.
+func (t *QTensor) Clone() *QTensor {
+	c := NewQ(t.Shape, t.Params)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// FillZeroPoint sets every element to the zero point (real value 0),
+// the quantized analogue of zero initialization.
+func (t *QTensor) FillZeroPoint() {
+	for i := range t.Data {
+		t.Data[i] = t.Params.ZeroPoint
+	}
+}
+
+// CopyChannels copies channels [c0,c1) of every batch element from src.
+// Both tensors must share shape and quantization parameters, which is what
+// makes the channel-wise merge a pure byte copy.
+func (t *QTensor) CopyChannels(src *QTensor, c0, c1 int) {
+	if t.Shape != src.Shape {
+		panic("tensor: CopyChannels shape mismatch")
+	}
+	if t.Params != src.Params {
+		panic("tensor: CopyChannels quantization params mismatch")
+	}
+	for n := 0; n < t.Shape.N; n++ {
+		lo, hi := t.Shape.ChannelSpan(n, c0, c1)
+		copy(t.Data[lo:hi], src.Data[lo:hi])
+	}
+}
+
+// Quantize converts a float32 tensor to QUInt8 under the given parameters.
+func Quantize(t *Tensor, p quant.Params) *QTensor {
+	q := NewQ(t.Shape, p)
+	for i, v := range t.Data {
+		q.Data[i] = p.Quantize(v)
+	}
+	return q
+}
+
+// QuantizeAuto chooses parameters from the tensor's own range (per-tensor
+// min/max) and quantizes. This is the "naive" post-training scheme whose
+// accuracy Figure 10 shows collapsing on deep NNs.
+func QuantizeAuto(t *Tensor) *QTensor {
+	min, max := t.Range()
+	return Quantize(t, quant.ChooseParams(min, max))
+}
+
+// Dequantize converts a quantized tensor back to float32 representatives.
+func Dequantize(q *QTensor) *Tensor {
+	t := New(q.Shape)
+	for i, v := range q.Data {
+		t.Data[i] = q.Params.Dequantize(v)
+	}
+	return t
+}
+
+// DequantizeToHalf converts a quantized tensor to binary16, rounding each
+// representative to half precision. This is the GPU's on-the-fly load
+// conversion under processor-friendly quantization (Figure 9b).
+func DequantizeToHalf(q *QTensor) *HTensor {
+	h := NewH(q.Shape)
+	for i, v := range q.Data {
+		h.Data[i] = f16.FromFloat32(q.Params.Dequantize(v))
+	}
+	return h
+}
+
+// ToHalf rounds a float32 tensor to binary16.
+func ToHalf(t *Tensor) *HTensor {
+	h := NewH(t.Shape)
+	for i, v := range t.Data {
+		h.Data[i] = f16.FromFloat32(v)
+	}
+	return h
+}
+
+// HalfToFloat converts a binary16 tensor to float32 exactly.
+func HalfToFloat(h *HTensor) *Tensor {
+	t := New(h.Shape)
+	for i, v := range h.Data {
+		t.Data[i] = v.Float32()
+	}
+	return t
+}
+
+// FillRandom fills the tensor with deterministic pseudo-random values in
+// [-amp, amp] derived from seed via SplitMix64. The same (seed, shape)
+// always produces the same contents, which keeps the synthetic model zoo
+// reproducible without shipping weight files.
+func (t *Tensor) FillRandom(seed uint64, amp float32) {
+	s := seed
+	for i := range t.Data {
+		s = splitmix64(s)
+		// 53 high bits → uniform in [0,1).
+		u := float64(s>>11) / (1 << 53)
+		t.Data[i] = (float32(u)*2 - 1) * amp
+	}
+}
+
+// splitmix64 is the SplitMix64 PRNG step: a tiny, high-quality, stateless
+// mixer suitable for reproducible weight synthesis.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,281 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mulayer/internal/quant"
+)
+
+func TestShapeIndexLayout(t *testing.T) {
+	s := Shape{N: 2, C: 3, H: 4, W: 5}
+	if s.Elems() != 120 {
+		t.Fatalf("elems = %d", s.Elems())
+	}
+	// NCHW: w is fastest, then h, then c, then n.
+	if s.Index(0, 0, 0, 1)-s.Index(0, 0, 0, 0) != 1 {
+		t.Error("w stride")
+	}
+	if s.Index(0, 0, 1, 0)-s.Index(0, 0, 0, 0) != 5 {
+		t.Error("h stride")
+	}
+	if s.Index(0, 1, 0, 0)-s.Index(0, 0, 0, 0) != 20 {
+		t.Error("c stride")
+	}
+	if s.Index(1, 0, 0, 0)-s.Index(0, 0, 0, 0) != 60 {
+		t.Error("n stride")
+	}
+	if s.Index(1, 2, 3, 4) != 119 {
+		t.Error("last element")
+	}
+}
+
+func TestChannelSpanContiguous(t *testing.T) {
+	s := Shape{N: 2, C: 8, H: 3, W: 3}
+	lo, hi := s.ChannelSpan(1, 2, 5)
+	if lo != s.Index(1, 2, 0, 0) {
+		t.Errorf("lo = %d", lo)
+	}
+	if hi != s.Index(1, 5, 0, 0) {
+		t.Errorf("hi = %d", hi)
+	}
+	if hi-lo != 3*3*3 {
+		t.Errorf("span length = %d", hi-lo)
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if !(Shape{1, 1, 1, 1}).Valid() {
+		t.Error("1x1x1x1 should be valid")
+	}
+	for _, s := range []Shape{{0, 1, 1, 1}, {1, -1, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}} {
+		if s.Valid() {
+			t.Errorf("%v should be invalid", s)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid shape must panic")
+		}
+	}()
+	New(Shape{0, 1, 1, 1})
+}
+
+func TestNewFromLengthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFrom with wrong length must panic")
+		}
+	}()
+	NewFrom(Shape{1, 1, 2, 2}, []float32{1, 2, 3})
+}
+
+func TestAtSetCloneFill(t *testing.T) {
+	a := New(Shape{1, 2, 2, 2})
+	a.Set(0, 1, 1, 0, 42)
+	if a.At(0, 1, 1, 0) != 42 {
+		t.Fatal("At/Set")
+	}
+	b := a.Clone()
+	b.Set(0, 1, 1, 0, 7)
+	if a.At(0, 1, 1, 0) != 42 {
+		t.Fatal("Clone must deep-copy")
+	}
+	a.Fill(3)
+	for _, v := range a.Data {
+		if v != 3 {
+			t.Fatal("Fill")
+		}
+	}
+}
+
+func TestRangeAndMaxAbsDiff(t *testing.T) {
+	a := NewFrom(Shape{1, 1, 1, 4}, []float32{-3, 0, 2, 1})
+	min, max := a.Range()
+	if min != -3 || max != 2 {
+		t.Fatalf("range [%v,%v]", min, max)
+	}
+	b := NewFrom(Shape{1, 1, 1, 4}, []float32{-3, 0.5, 2, 1})
+	if d := a.MaxAbsDiff(b); d != 0.5 {
+		t.Fatalf("diff = %v", d)
+	}
+}
+
+func TestMaxAbsDiffShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch must panic")
+		}
+	}()
+	New(Shape{1, 1, 1, 4}).MaxAbsDiff(New(Shape{1, 1, 2, 2}))
+}
+
+func TestCopyChannelsMerge(t *testing.T) {
+	s := Shape{N: 2, C: 4, H: 2, W: 2}
+	cpuOut := New(s)
+	gpuOut := New(s)
+	cpuOut.Fill(1)
+	gpuOut.Fill(2)
+	merged := New(s)
+	merged.CopyChannels(cpuOut, 0, 3) // CPU computed channels [0,3)
+	merged.CopyChannels(gpuOut, 3, 4) // GPU computed channel 3
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			want := float32(1)
+			if c >= 3 {
+				want = 2
+			}
+			if merged.At(n, c, 0, 0) != want {
+				t.Fatalf("n=%d c=%d got %v want %v", n, c, merged.At(n, c, 0, 0), want)
+			}
+		}
+	}
+}
+
+func TestQTensorCopyChannelsChecksParams(t *testing.T) {
+	s := Shape{1, 2, 1, 1}
+	a := NewQ(s, quant.ChooseParams(-1, 1))
+	b := NewQ(s, quant.ChooseParams(-2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("params mismatch must panic")
+		}
+	}()
+	a.CopyChannels(b, 0, 1)
+}
+
+func TestQuantizeDequantizeRoundTrip(t *testing.T) {
+	a := New(Shape{1, 2, 3, 3})
+	a.FillRandom(1, 2.0)
+	q := QuantizeAuto(a)
+	back := Dequantize(q)
+	if d := a.MaxAbsDiff(back); d > float64(q.Params.Scale)*0.5001 {
+		t.Fatalf("round-trip error %v exceeds half step %v", d, q.Params.Scale/2)
+	}
+}
+
+func TestFillZeroPoint(t *testing.T) {
+	q := NewQ(Shape{1, 1, 2, 2}, quant.ChooseParams(-1, 1))
+	q.FillZeroPoint()
+	for _, v := range q.Data {
+		if q.Params.Dequantize(v) != 0 {
+			t.Fatal("zero point must dequantize to 0")
+		}
+	}
+}
+
+func TestDequantizeToHalfMatchesTwoStep(t *testing.T) {
+	a := New(Shape{1, 1, 4, 4})
+	a.FillRandom(2, 3.0)
+	q := QuantizeAuto(a)
+	h := DequantizeToHalf(q)
+	f := Dequantize(q)
+	hf := HalfToFloat(h)
+	// Half of a dequantized value equals rounding the float representative.
+	want := ToHalf(f)
+	for i := range h.Data {
+		if h.Data[i] != want.Data[i] {
+			t.Fatalf("elem %d: %v vs %v", i, h.Data[i].Float32(), want.Data[i].Float32())
+		}
+	}
+	// And the numeric error vs the f32 representative is at most an f16 ulp.
+	for i := range hf.Data {
+		d := math.Abs(float64(hf.Data[i] - f.Data[i]))
+		if d > math.Abs(float64(f.Data[i]))*0.001+1e-6 {
+			t.Fatalf("half conversion error %v at %d", d, i)
+		}
+	}
+}
+
+func TestToHalfRoundTripExactForSmallInts(t *testing.T) {
+	a := NewFrom(Shape{1, 1, 1, 5}, []float32{0, 1, -2, 128, -1024})
+	back := HalfToFloat(ToHalf(a))
+	if a.MaxAbsDiff(back) != 0 {
+		t.Fatal("small integers must convert exactly")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := New(Shape{1, 2, 4, 4})
+	b := New(Shape{1, 2, 4, 4})
+	a.FillRandom(99, 1)
+	b.FillRandom(99, 1)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("same seed must give identical tensors")
+	}
+	c := New(Shape{1, 2, 4, 4})
+	c.FillRandom(100, 1)
+	if a.MaxAbsDiff(c) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+	min, max := a.Range()
+	if min < -1 || max > 1 {
+		t.Fatalf("amp bound violated: [%v,%v]", min, max)
+	}
+}
+
+func TestDataTypeSizeAndString(t *testing.T) {
+	if F32.Size() != 4 || F16.Size() != 2 || QUInt8.Size() != 1 {
+		t.Error("sizes")
+	}
+	if F32.String() != "F32" || F16.String() != "F16" || QUInt8.String() != "QUInt8" {
+		t.Error("strings")
+	}
+	if len(AllDataTypes) != 3 {
+		t.Error("AllDataTypes")
+	}
+}
+
+func TestHTensorAtSet(t *testing.T) {
+	h := NewH(Shape{1, 1, 2, 2})
+	h.Set(0, 0, 1, 1, 0x3c00)
+	if h.At(0, 0, 1, 1) != 0x3c00 {
+		t.Fatal("HTensor At/Set")
+	}
+}
+
+func TestQTensorClone(t *testing.T) {
+	q := NewQ(Shape{1, 1, 2, 2}, quant.ChooseParams(-1, 1))
+	q.Set(0, 0, 0, 0, 200)
+	c := q.Clone()
+	c.Set(0, 0, 0, 0, 100)
+	if q.At(0, 0, 0, 0) != 200 {
+		t.Fatal("Clone must deep-copy")
+	}
+	if c.Params != q.Params {
+		t.Fatal("Clone must keep params")
+	}
+}
+
+func TestPropertyChannelSpansPartition(t *testing.T) {
+	// Splitting [0,C) at any boundary yields two spans that exactly tile
+	// the batch element's data — the no-redundancy invariant of the
+	// channel-wise distribution at the layout level.
+	f := func(c, split, n uint8) bool {
+		C := int(c%16) + 1
+		S := int(split) % (C + 1)
+		N := int(n%3) + 1
+		s := Shape{N: N, C: C, H: 3, W: 2}
+		for b := 0; b < N; b++ {
+			lo1, hi1 := s.ChannelSpan(b, 0, S)
+			lo2, hi2 := s.ChannelSpan(b, S, C)
+			if hi1 != lo2 {
+				return false
+			}
+			if lo1 != s.Index(b, 0, 0, 0) {
+				return false
+			}
+			if hi2 != lo1+C*6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

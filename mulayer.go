@@ -1,0 +1,175 @@
+// Package mulayer is a reproduction of μLayer (Kim et al., EuroSys 2019),
+// a low-latency on-device NN inference runtime that accelerates every
+// network layer cooperatively on a mobile SoC's CPU *and* GPU at the same
+// time, using three mechanisms:
+//
+//   - channel-wise workload distribution — the processors compute disjoint
+//     output-channel ranges of each layer, with no redundant work;
+//   - processor-friendly quantization — tensors rest as 8-bit linearly
+//     quantized integers; the CPU computes QUInt8 with a gemmlowp-style
+//     integer pipeline while the GPU dequantizes on the fly and computes in
+//     native F16;
+//   - branch distribution — divergent branch groups (Inception, Fire
+//     modules) are assigned whole branches per processor.
+//
+// Because pure Go has neither NEON nor a Mali GPU, the runtime executes
+// real numeric kernels on the host while charging time and energy to
+// calibrated analytic models of the paper's Exynos 7420 and 7880 SoCs (see
+// DESIGN.md for the substitution rationale).
+//
+// # Quickstart
+//
+//	rt, err := mulayer.NewRuntime(mulayer.Exynos7420())
+//	model, err := mulayer.GoogLeNet(mulayer.ModelConfig{})
+//	res, err := rt.Run(model, nil, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer})
+//	fmt.Println(res.Report)   // simulated latency and energy
+//
+// For real computation, build a numeric model (reduced scale keeps the
+// pure-Go kernels fast), calibrate its quantization grids, and pass an
+// input tensor with Numeric: true.
+package mulayer
+
+import (
+	"io"
+
+	"mulayer/internal/core"
+	"mulayer/internal/exec"
+	"mulayer/internal/experiments"
+	"mulayer/internal/models"
+	"mulayer/internal/partition"
+	"mulayer/internal/quant"
+	"mulayer/internal/sim"
+	"mulayer/internal/soc"
+	"mulayer/internal/tensor"
+)
+
+// Core runtime types.
+type (
+	// Runtime plans and executes inference on one SoC model (Figure 13 of
+	// the paper: partitioner + latency predictor + executor).
+	Runtime = core.Runtime
+	// RunConfig selects the mechanism, data type, and execution mode of
+	// one inference.
+	RunConfig = core.RunConfig
+	// Mechanism is an execution mechanism (single-processor baselines,
+	// layer-to-processor, or μLayer's cooperative mechanisms).
+	Mechanism = core.Mechanism
+	// Result carries the (optional) output tensor, the simulated timeline,
+	// and the latency/energy report of one inference.
+	Result = exec.Result
+	// Report summarizes simulated latency, energy, and utilization.
+	Report = sim.Report
+	// Plan is a partitioned execution plan.
+	Plan = partition.Plan
+)
+
+// Model and data types.
+type (
+	// Model is a network from the zoo: a layer graph plus quantization
+	// metadata.
+	Model = models.Model
+	// ModelConfig selects a model variant (numeric vs spec-only, reduced
+	// input resolution/width, classifier width, weight seed).
+	ModelConfig = models.Config
+	// SoC is a modeled system-on-chip.
+	SoC = soc.SoC
+	// Tensor is a dense float32 NCHW tensor.
+	Tensor = tensor.Tensor
+	// Shape is a 4-D NCHW shape.
+	Shape = tensor.Shape
+	// DataType identifies F32, F16, or QUInt8.
+	DataType = tensor.DataType
+	// QuantParams is an affine 8-bit quantization grid.
+	QuantParams = quant.Params
+)
+
+// The execution mechanisms of the paper's evaluation (§7.2), plus the
+// §8.3 NPU extension mechanisms.
+const (
+	MechCPUOnly              = core.MechCPUOnly
+	MechGPUOnly              = core.MechGPUOnly
+	MechLayerToProcessor     = core.MechLayerToProcessor
+	MechChannelDist          = core.MechChannelDist
+	MechChannelDistProcQuant = core.MechChannelDistProcQuant
+	MechMuLayer              = core.MechMuLayer
+	MechNPUOnly              = core.MechNPUOnly
+	MechMuLayerNPU           = core.MechMuLayerNPU
+)
+
+// The data types of §4.1.
+const (
+	F32    = tensor.F32
+	F16    = tensor.F16
+	QUInt8 = tensor.QUInt8
+)
+
+// NewRuntime profiles the SoC's processors, fits the latency predictor,
+// and returns a runtime ready to plan and execute networks.
+func NewRuntime(s *SoC) (*Runtime, error) { return core.NewRuntime(s) }
+
+// Exynos7420 models the paper's high-end SoC (Samsung Galaxy Note 5):
+// 4×Cortex-A57 + Mali-T760 MP8.
+func Exynos7420() *SoC { return soc.Exynos7420() }
+
+// Exynos7880 models the paper's mid-range SoC (Samsung Galaxy A5):
+// 8×Cortex-A53 + Mali-T830 MP3.
+func Exynos7880() *SoC { return soc.Exynos7880() }
+
+// Exynos7420NPU is the high-end SoC augmented with a hypothetical
+// 2018-class edge NPU — the platform for the paper's §8.3 extension,
+// which this library implements in full (three-way channel distribution,
+// NPU-friendly quantization, three-way branch distribution).
+func Exynos7420NPU() *SoC { return soc.Exynos7420NPU() }
+
+// SoCs returns both evaluated SoCs, high-end first.
+func SoCs() []*SoC { return soc.All() }
+
+// Model zoo builders (Table 1's evaluated networks plus LeNet-5 and the
+// standalone Inception module of Figure 12).
+var (
+	LeNet5        = models.LeNet5
+	AlexNet       = models.AlexNet
+	VGG16         = models.VGG16
+	GoogLeNet     = models.GoogLeNet
+	SqueezeNetV11 = models.SqueezeNetV11
+	MobileNetV1   = models.MobileNetV1
+	ResNet18      = models.ResNet18
+	Inception3a   = models.Inception3a
+)
+
+// EvaluatedModels returns the paper's five evaluation NNs in Table 1
+// order: GoogLeNet, SqueezeNet v1.1, VGG-16, AlexNet, MobileNet v1.
+func EvaluatedModels(cfg ModelConfig) ([]*Model, error) { return models.Evaluated(cfg) }
+
+// NewInput allocates a zeroed float32 input tensor for a model.
+func NewInput(m *Model) *Tensor { return tensor.New(m.InputShape) }
+
+// RandomInput returns a deterministic pseudo-random input in [-1, 1] for a
+// model; the same seed always yields the same tensor.
+func RandomInput(m *Model, seed uint64) *Tensor {
+	t := tensor.New(m.InputShape)
+	t.FillRandom(seed, 1)
+	return t
+}
+
+// LoadModel reconstructs a model saved with Model.Save — the persistence
+// path for calibrated models (calibrate once, ship the artifact).
+func LoadModel(r io.Reader) (*Model, error) { return models.Load(r) }
+
+// CalibrationSet synthesizes n deterministic calibration inputs.
+func CalibrationSet(m *Model, n int, seed uint64) []*Tensor {
+	out := make([]*Tensor, n)
+	for i := range out {
+		out[i] = RandomInput(m, seed+uint64(i)*101)
+	}
+	return out
+}
+
+// Experiments exposes the paper-reproduction harness: every figure and
+// table of the evaluation as renderable text tables (see cmd/mulayer-bench
+// and EXPERIMENTS.md).
+type Experiments = experiments.Env
+
+// NewExperiments builds the experiment environment (both SoCs profiled,
+// the five full-size spec models loaded).
+func NewExperiments() (*Experiments, error) { return experiments.NewEnv() }

@@ -1,0 +1,78 @@
+package mulayer_test
+
+import (
+	"testing"
+
+	"mulayer"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quickstart path through
+// the exported surface only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rt, err := mulayer.NewRuntime(mulayer.Exynos7420())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mulayer.GoogLeNet(mulayer.ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(m, nil, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Latency <= 0 || res.Report.TotalJ() <= 0 {
+		t.Fatal("report must be populated")
+	}
+
+	base, err := rt.Run(m, nil, mulayer.RunConfig{Mechanism: mulayer.MechLayerToProcessor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Latency >= base.Report.Latency {
+		t.Fatal("μLayer must beat the baseline through the public API too")
+	}
+}
+
+func TestPublicNumericPath(t *testing.T) {
+	rt, err := mulayer.NewRuntime(mulayer.Exynos7880())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mulayer.LeNet5(mulayer.ModelConfig{Numeric: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(mulayer.CalibrationSet(m, 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	in := mulayer.RandomInput(m, 42)
+	res, err := rt.Run(m, in, mulayer.RunConfig{Mechanism: mulayer.MechMuLayer, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output == nil || res.Output.Shape.C != 10 {
+		t.Fatalf("output missing or misshapen: %+v", res.Output)
+	}
+	// Determinism through the public surface.
+	if mulayer.RandomInput(m, 42).MaxAbsDiff(in) != 0 {
+		t.Fatal("RandomInput must be deterministic")
+	}
+}
+
+func TestPublicModelZoo(t *testing.T) {
+	ms, err := mulayer.EvaluatedModels(mulayer.ModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("zoo size %d", len(ms))
+	}
+	socs := mulayer.SoCs()
+	if len(socs) != 2 {
+		t.Fatal("two SoCs")
+	}
+	if mulayer.NewInput(ms[0]).Shape != ms[0].InputShape {
+		t.Fatal("NewInput shape")
+	}
+}
