@@ -1,0 +1,30 @@
+# Tier-1 verification for the μLayer reproduction.
+#
+#   make ci      build + vet + race-enabled tests (the pre-merge gate)
+#   make test    fast test run (no race detector)
+#   make serve   run the inference server on :8080
+#   make load    drive a running server at 50 qps for 10s
+
+GO ?= go
+
+.PHONY: ci build vet test race serve load
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+serve:
+	$(GO) run ./cmd/mulayer-serve
+
+load:
+	$(GO) run ./cmd/mulayer-load -qps 50 -duration 10s

@@ -1,0 +1,160 @@
+// Command mulayer-load drives a running mulayer-serve at a configurable
+// offered load and prints achieved throughput and wall-latency
+// percentiles — the reproducible benchmark for the serving path (see
+// docs/serving.md for the saturation experiment it supports).
+//
+// It is an open-loop generator: requests fire on a fixed interval derived
+// from -qps regardless of how fast replies come back, so queueing at the
+// server shows up as latency rather than reduced offered load.
+//
+// Usage:
+//
+//	mulayer-load -addr http://localhost:8080 -model googlenet -qps 50 -duration 10s
+//	mulayer-load -model googlenet,squeezenet -mech mulayer -qps 200 -duration 30s -timeout 1s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type inferRequest struct {
+	Model     string `json:"model"`
+	Mechanism string `json:"mechanism,omitempty"`
+	SoC       string `json:"soc,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type sample struct {
+	wall time.Duration
+	code int
+	err  bool
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mulayer-load: ")
+	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	modelsFlag := flag.String("model", "googlenet", "model name(s), comma-separated (round-robin)")
+	mech := flag.String("mech", "mulayer", "execution mechanism")
+	socClass := flag.String("soc", "", "pin requests to one SoC class (empty = any)")
+	qps := flag.Float64("qps", 20, "offered load in requests per second")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
+	flag.Parse()
+
+	if *qps <= 0 {
+		log.Fatal("-qps must be positive")
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	models := strings.Split(*modelsFlag, ",")
+	client := &http.Client{Timeout: *timeout + time.Second}
+	interval := time.Duration(float64(time.Second) / *qps)
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	fire := func(model string) {
+		defer wg.Done()
+		body, _ := json.Marshal(inferRequest{
+			Model:     model,
+			Mechanism: *mech,
+			SoC:       *socClass,
+			TimeoutMS: int(*timeout / time.Millisecond),
+		})
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+		s := sample{wall: time.Since(start)}
+		if err != nil {
+			s.err = true
+		} else {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			s.code = resp.StatusCode
+		}
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	log.Printf("offering %.1f qps of %s for %v against %s", *qps, *modelsFlag, *duration, base)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var sent int
+	for time.Since(start) < *duration {
+		<-tick.C
+		wg.Add(1)
+		go fire(models[sent%len(models)])
+		sent++
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	byCode := map[int]int{}
+	var netErrs int
+	var okLat []time.Duration
+	for _, s := range samples {
+		if s.err {
+			netErrs++
+			continue
+		}
+		byCode[s.code]++
+		if s.code == http.StatusOK {
+			okLat = append(okLat, s.wall)
+		}
+	}
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+
+	fmt.Printf("sent          %d in %v (offered %.1f qps)\n", sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Printf("completed 2xx %d (%.1f qps goodput)\n", byCode[200], float64(byCode[200])/elapsed.Seconds())
+	codes := make([]int, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		if c != 200 {
+			fmt.Printf("status %d    %d\n", c, byCode[c])
+		}
+	}
+	if netErrs > 0 {
+		fmt.Printf("transport err %d\n", netErrs)
+	}
+	if len(okLat) > 0 {
+		fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+			percentile(okLat, 0.50).Round(time.Microsecond),
+			percentile(okLat, 0.90).Round(time.Microsecond),
+			percentile(okLat, 0.99).Round(time.Microsecond),
+			okLat[len(okLat)-1].Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,123 @@
+// Command mulayer-serve runs the μLayer inference server: an HTTP JSON
+// API over a pool of simulated SoC devices with predictor-guided request
+// scheduling, bounded-queue admission control, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	mulayer-serve                                  # :8080, 2×high + 2×mid
+//	mulayer-serve -addr :9000 -socs high=4,mid=2
+//	mulayer-serve -queue 64 -timeout 500ms -timescale 1
+//
+// Endpoints:
+//
+//	POST /v1/infer    {"model":"googlenet","mechanism":"mulayer","soc":"high","timeout_ms":500}
+//	GET  /v1/models   loaded models, mechanisms, SoC classes
+//	GET  /healthz     ok | draining
+//	GET  /statusz     queue/backlog/served per device (JSON)
+//	GET  /metrics     Prometheus text format
+//
+// With -timescale T each device stays busy for simulatedLatency/T of wall
+// time per inference, so offered load saturates the pool the way it would
+// saturate the modeled hardware; -timescale 0 disables pacing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mulayer/internal/server"
+	"mulayer/internal/soc"
+)
+
+var socBuilders = map[string]func() *soc.SoC{
+	"high": soc.Exynos7420,
+	"mid":  soc.Exynos7880,
+	"npu":  soc.Exynos7420NPU,
+}
+
+// parseSoCs parses "high=4,mid=2" (count optional: "high,mid").
+func parseSoCs(spec string, defWorkers int) ([]server.SoCSpec, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []server.SoCSpec
+	for _, part := range strings.Split(spec, ",") {
+		name, cnt, hasCnt := strings.Cut(strings.TrimSpace(part), "=")
+		build, ok := socBuilders[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown SoC class %q (want high, mid, npu)", name)
+		}
+		workers := defWorkers
+		if hasCnt {
+			n, err := strconv.Atoi(cnt)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad worker count %q for %s", cnt, name)
+			}
+			workers = n
+		}
+		out = append(out, server.SoCSpec{Name: name, SoC: build, Workers: workers})
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mulayer-serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	socs := flag.String("socs", "high=2,mid=2", "device pool: class=workers[,class=workers...] (classes: high, mid, npu)")
+	workers := flag.Int("workers", 2, "default workers per class when a class omits =N")
+	queue := flag.Int("queue", 256, "bounded queue depth (admitted but unfinished requests)")
+	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+	timescale := flag.Float64("timescale", 10, "device pacing: simulated latency / timescale of wall time per inference (0 = no pacing)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+
+	specs, err := parseSoCs(*socs, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Addr:           *addr,
+		SoCs:           specs,
+		DefaultWorkers: *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		TimeScale:      *timescale,
+		DrainTimeout:   *drain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (pool %s, queue %d, timescale %g)", *addr, *socs, *queue, *timescale)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining (budget %v)...", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mulayer/internal/models"
+	"mulayer/internal/tensor"
+)
+
+// countdownCtx is a context whose Err flips to Canceled after its Err
+// method has been consulted n times — a deterministic stand-in for a
+// cancellation that lands mid-execution.
+type countdownCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	rt := newRT(t)
+	m, err := models.GoogLeNet(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rt.RunContext(ctx, m, nil, RunConfig{Mechanism: MechMuLayer}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: got %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadlineExceeded(t *testing.T) {
+	rt := newRT(t)
+	m, err := models.GoogLeNet(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := rt.RunContext(ctx, m, nil, RunConfig{Mechanism: MechMuLayer}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextCancelMidRunStopsPromptly(t *testing.T) {
+	rt := newRT(t)
+	m, err := models.VGG16(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The executor consults ctx.Err once before the run and once per plan
+	// step; letting a handful of checks pass cancels mid-walk, and the run
+	// must abort there instead of finishing the remaining steps.
+	ctx := &countdownCtx{Context: context.Background(), left: 3}
+	if _, err := rt.RunContext(ctx, m, nil, RunConfig{Mechanism: MechMuLayer}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: got %v, want context.Canceled", err)
+	}
+}
+
+// TestConcurrentRunsRace exercises the documented concurrency contract:
+// one Runtime and shared read-only Models, hit from many goroutines at
+// once (run under -race). Results must also be deterministic — every
+// goroutine sees the identical simulated latency for the same work.
+func TestConcurrentRunsRace(t *testing.T) {
+	rt := newRT(t)
+	g, err := models.GoogLeNet(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := models.SqueezeNetV11(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := []*models.Model{g, s}
+	mechs := []Mechanism{MechCPUOnly, MechLayerToProcessor, MechMuLayer}
+
+	want := make(map[string]time.Duration)
+	for _, m := range shared {
+		for _, mech := range mechs {
+			res, err := rt.Run(m, nil, RunConfig{Mechanism: mech, DType: tensor.QUInt8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[m.Name+"/"+mech.String()] = res.Report.Latency
+		}
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				m := shared[(w+i)%len(shared)]
+				mech := mechs[(w+i)%len(mechs)]
+				res, err := rt.Run(m, nil, RunConfig{Mechanism: mech, DType: tensor.QUInt8})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := res.Report.Latency; got != want[m.Name+"/"+mech.String()] {
+					t.Errorf("%s %v: latency %v, want %v", m.Name, mech, got, want[m.Name+"/"+mech.String()])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentNumericRuns runs the numeric pipeline concurrently on a
+// shared calibrated model: calibration happens strictly before sharing,
+// after which the layers (weights, grids, caches) are read-only.
+func TestConcurrentNumericRuns(t *testing.T) {
+	rt := newRT(t)
+	m, err := models.LeNet5(models.Config{Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cal []*tensor.Tensor
+	for i := uint64(0); i < 2; i++ {
+		in := tensor.New(m.InputShape)
+		in.FillRandom(7+i, 1)
+		cal = append(cal, in)
+	}
+	if err := m.Calibrate(cal); err != nil {
+		t.Fatal(err)
+	}
+	input := tensor.New(m.InputShape)
+	input.FillRandom(42, 1)
+
+	ref, err := rt.Run(m, input, RunConfig{Mechanism: MechMuLayer, Numeric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := rt.Run(m, input, RunConfig{Mechanism: MechMuLayer, Numeric: true})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, v := range res.Output.Data {
+				if v != ref.Output.Data[i] {
+					t.Errorf("output[%d] = %v, want %v", i, v, ref.Output.Data[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mulayer/internal/exec"
@@ -84,6 +85,21 @@ type RunConfig struct {
 
 // Runtime is a μLayer runtime bound to one SoC model: it owns the fitted
 // latency predictor and plans/executes networks on demand.
+//
+// # Concurrency
+//
+// A Runtime is immutable after NewRuntime: Plan, Run, and RunContext never
+// mutate the Runtime, the SoC model, or the predictor, so one Runtime is
+// safe for concurrent use by multiple goroutines. Each call builds its own
+// plan, timeline, and (in numeric mode) activation tensors. The Model is
+// read-only during a run, so concurrent runs may share a Model — provided
+// no goroutine mutates it concurrently (calibration, which installs
+// quantization grids and weight caches into the layers, must happen
+// strictly before the model is shared). Note that concurrent Run calls
+// model independent SoCs: each call gets its own simulated timeline, so
+// two concurrent inferences do not contend for the modeled processors —
+// serving-style contention is a scheduling concern layered above (see
+// internal/server).
 type Runtime struct {
 	soc  *soc.SoC
 	pred *profile.Predictor
@@ -144,6 +160,17 @@ func (rt *Runtime) Plan(m *models.Model, rc RunConfig) (*partition.Plan, error) 
 // numeric and, for quantized pipelines, calibrated; input may be nil in
 // cost-only mode.
 func (rt *Runtime) Run(m *models.Model, input *tensor.Tensor, rc RunConfig) (*exec.Result, error) {
+	return rt.RunContext(context.Background(), m, input, rc)
+}
+
+// RunContext is Run under a context: the executor checks ctx between plan
+// steps, so canceling it (or its deadline expiring) aborts the inference
+// promptly and returns the context's error. This is the entry point the
+// serving scheduler uses to enforce per-request deadlines.
+func (rt *Runtime) RunContext(ctx context.Context, m *models.Model, input *tensor.Tensor, rc RunConfig) (*exec.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	o, err := rt.options(rc)
 	if err != nil {
 		return nil, err
@@ -162,6 +189,7 @@ func (rt *Runtime) Run(m *models.Model, input *tensor.Tensor, rc RunConfig) (*ex
 	}
 	cfg := exec.Config{
 		SoC:         rt.soc,
+		Ctx:         ctx,
 		Pipe:        o.Pipe,
 		Numeric:     rc.Numeric,
 		InputParams: m.InputParams,

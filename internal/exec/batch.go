@@ -119,7 +119,9 @@ func RunBatch(g *graph.Graph, policy BatchPolicy, plans BatchPlans, n int, cfg C
 		// same-processor inputs queue and different-processor inputs
 		// overlap, which is exactly Figure 4's distinction.
 		r := newRunner(g, c, shapes, tl, 0)
-		r.execute(plan)
+		if err := r.execute(plan); err != nil {
+			return nil, err
+		}
 		end := r.ready[g.Output()]
 		totalLatency += end
 		if end > res.MaxLatency {

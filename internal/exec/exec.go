@@ -17,6 +17,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -35,6 +36,10 @@ import (
 type Config struct {
 	SoC  *soc.SoC
 	Pipe partition.Pipeline
+	// Ctx, when non-nil, is checked between plan steps so a server-side
+	// deadline or cancellation stops a queued or in-flight execution
+	// promptly; Run then returns the context's error.
+	Ctx context.Context
 	// Numeric enables real tensor computation alongside the simulation.
 	Numeric bool
 	// InputParams is the quantization grid of the network input
@@ -128,9 +133,15 @@ func newRunner(g *graph.Graph, cfg Config, shapes map[graph.NodeID]tensor.Shape,
 	return r
 }
 
-// execute walks the plan's steps in order.
-func (r *runner) execute(plan *partition.Plan) {
+// execute walks the plan's steps in order, aborting between steps once the
+// configured context is done.
+func (r *runner) execute(plan *partition.Plan) error {
 	for _, st := range plan.Steps {
+		if r.cfg.Ctx != nil {
+			if err := r.cfg.Ctx.Err(); err != nil {
+				return err
+			}
+		}
 		switch {
 		case st.Layer != nil:
 			if st.Layer.PNPU > 0 && st.Layer.PNPU < 1 {
@@ -144,6 +155,7 @@ func (r *runner) execute(plan *partition.Plan) {
 			r.runBranch(st.Branch)
 		}
 	}
+	return nil
 }
 
 // Run executes plan over g with the given float32 input.
@@ -178,7 +190,9 @@ func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config)
 	if cfg.Numeric {
 		r.values[g.Input()] = r.convertInput(input)
 	}
-	r.execute(plan)
+	if err := r.execute(plan); err != nil {
+		return nil, err
+	}
 
 	if err := r.tl.Validate(); err != nil {
 		return nil, err

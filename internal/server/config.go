@@ -1,0 +1,135 @@
+// Package server is the μLayer inference serving subsystem: an HTTP JSON
+// API backed by a pool of simulated SoC devices and a request scheduler
+// with admission control (see cmd/mulayer-serve).
+//
+// The paper frames μLayer as an on-device runtime fed by a stream of
+// inference requests (§6, Figure 13); this package puts that runtime
+// behind a server the way a fleet of devices would be driven in
+// production. Each pool device owns one core.Runtime — a simulated SoC
+// runs one inference at a time — and the scheduler extends the paper's
+// makespan argument from channels within a layer to requests across
+// devices: using the latency predictor's per-plan cost estimate, every
+// request goes to the device whose queue has the minimum predicted
+// completion time.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"mulayer/internal/models"
+	"mulayer/internal/soc"
+)
+
+// SoCSpec names one device class of the pool.
+type SoCSpec struct {
+	// Name keys the class in the API ("high", "mid", "npu").
+	Name string
+	// SoC builds the device model.
+	SoC func() *soc.SoC
+	// Workers is the number of independent devices (each its own
+	// core.Runtime) of this class; 0 means Config.DefaultWorkers.
+	Workers int
+}
+
+// Config configures the serving subsystem.
+type Config struct {
+	// Addr is the listen address of ListenAndServe (default ":8080").
+	Addr string
+
+	// SoCs lists the device classes in the pool; empty means one class
+	// per paper SoC ("high" Exynos 7420 and "mid" Exynos 7880).
+	SoCs []SoCSpec
+	// DefaultWorkers is the per-class device count when a spec leaves
+	// Workers zero (default 2).
+	DefaultWorkers int
+
+	// Models maps API model names to spec models; empty loads the zoo's
+	// five evaluated networks plus lenet5.
+	Models map[string]*models.Model
+
+	// QueueDepth bounds the total number of admitted-but-unfinished
+	// requests across all devices; beyond it /v1/infer answers
+	// 503 + Retry-After (default 256).
+	QueueDepth int
+
+	// DefaultTimeout caps a request that sets no timeout_ms (default 2s);
+	// MaxTimeout clips client-requested timeouts (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// TimeScale paces each device by its simulated latency: a device that
+	// predicts a 30ms inference occupies its worker for 30ms/TimeScale of
+	// wall time, so the pool saturates like real hardware. 0 disables
+	// pacing (the cost-only walk runs at full host speed, suitable for
+	// tests); 1 is real time; 10 is 10× faster than the modeled SoC.
+	TimeScale float64
+
+	// DrainTimeout bounds graceful shutdown: after it expires, queued and
+	// in-flight requests are canceled (default 10s).
+	DrainTimeout time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 2
+	}
+	if len(c.SoCs) == 0 {
+		c.SoCs = []SoCSpec{
+			{Name: "high", SoC: soc.Exynos7420},
+			{Name: "mid", SoC: soc.Exynos7880},
+		}
+	}
+	seen := map[string]bool{}
+	for i := range c.SoCs {
+		s := &c.SoCs[i]
+		if s.Name == "" || s.SoC == nil {
+			return c, fmt.Errorf("server: SoC spec %d needs a name and a builder", i)
+		}
+		if seen[s.Name] {
+			return c, fmt.Errorf("server: duplicate SoC class %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Workers <= 0 {
+			s.Workers = c.DefaultWorkers
+		}
+	}
+	if c.Models == nil {
+		c.Models = map[string]*models.Model{}
+		builders := map[string]func(models.Config) (*models.Model, error){
+			"googlenet":  models.GoogLeNet,
+			"squeezenet": models.SqueezeNetV11,
+			"vgg16":      models.VGG16,
+			"alexnet":    models.AlexNet,
+			"mobilenet":  models.MobileNetV1,
+			"lenet5":     models.LeNet5,
+		}
+		for name, build := range builders {
+			m, err := build(models.Config{})
+			if err != nil {
+				return c, fmt.Errorf("server: load %s: %w", name, err)
+			}
+			c.Models[name] = m
+		}
+	}
+	if len(c.Models) == 0 {
+		return c, fmt.Errorf("server: no models configured")
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c, nil
+}

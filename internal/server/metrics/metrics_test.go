@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterVec(r, "req_total", "requests", "model", "code")
+	c.With("googlenet", "200").Add(3)
+	c.With("googlenet", "200").Inc()
+	c.With("vgg16", "503").Inc()
+	out := render(r)
+	for _, want := range []string{
+		"# HELP req_total requests",
+		"# TYPE req_total counter",
+		`req_total{model="googlenet",code="200"} 4`,
+		`req_total{model="vgg16",code="503"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnlabeledAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterVec(r, "plain_total", "plain")
+	c.With().Inc()
+	g := NewGaugeVec(r, "depth", "queue depth", "device")
+	g.With("dev0").Set(2.5)
+	g.With("dev0").Add(0.5)
+	NewGaugeFunc(r, "up", "always one", func() float64 { return 1 })
+	out := render(r)
+	for _, want := range []string{"plain_total 1\n", `depth{device="dev0"} 3` + "\n", "up 1\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramVec(r, "lat_seconds", "latency", []float64{0.01, 0.1, 1}, "model")
+	child := h.With("m")
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 5} {
+		child.Observe(v)
+	}
+	if got := child.Count(); got != 5 {
+		t.Fatalf("count %d", got)
+	}
+	if math.Abs(child.Sum()-5.545) > 1e-9 {
+		t.Fatalf("sum %v", child.Sum())
+	}
+	// Cumulative buckets: ≤0.01 → 1, ≤0.1 → 3, ≤1 → 4, +Inf → 5.
+	out := render(r)
+	for _, want := range []string{
+		`lat_seconds_bucket{model="m",le="0.01"} 1`,
+		`lat_seconds_bucket{model="m",le="0.1"} 3`,
+		`lat_seconds_bucket{model="m",le="1"} 4`,
+		`lat_seconds_bucket{model="m",le="+Inf"} 5`,
+		`lat_seconds_sum{model="m"} 5.545`,
+		`lat_seconds_count{model="m"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Quantile attributes bucket mass to upper bounds.
+	if q := child.Quantile(0.5); q != 0.1 {
+		t.Errorf("p50 = %v, want 0.1", q)
+	}
+	if q := child.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("p100 = %v, want +Inf", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramVec(r, "h", "h", []float64{1})
+	if q := h.With().Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile %v", q)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	NewCounterVec(r, "dup", "d")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	NewGaugeVec(r, "dup", "d")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterVec(r, "esc_total", "esc", "v")
+	c.With(`a"b\c` + "\nd").Inc()
+	out := render(r)
+	if !strings.Contains(out, `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounterVec(r, "c_total", "c", "k")
+	h := NewHistogramVec(r, "h_seconds", "h", LatencyBuckets(), "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"a", "b"}[w%2]
+			for i := 0; i < 500; i++ {
+				c.With(key).Inc()
+				h.With(key).Observe(float64(i) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.With("a").Value() + c.With("b").Value(); got != 4000 {
+		t.Fatalf("total %d, want 4000", got)
+	}
+	if got := h.With("a").Count() + h.With("b").Count(); got != 4000 {
+		t.Fatalf("histogram total %d, want 4000", got)
+	}
+	render(r) // must not race with writers
+}

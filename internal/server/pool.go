@@ -1,0 +1,61 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mulayer/internal/core"
+)
+
+// poolDevice is one simulated device: a core.Runtime plus its dispatch
+// queue. A simulated SoC runs one inference at a time, so each device is
+// served by exactly one worker goroutine; concurrency comes from the pool
+// having many devices.
+type poolDevice struct {
+	id    int
+	name  string // e.g. "high-0"
+	class string // SoC class name ("high", "mid", ...)
+	rt    *core.Runtime
+
+	// queue carries admitted requests; its capacity equals the global
+	// queue bound, so sends under the scheduler mutex can never block.
+	queue chan *pending
+
+	// backlogNS is the predicted simulated latency of every admitted but
+	// unfinished request on this device — the makespan term the
+	// dispatcher minimizes.
+	backlogNS atomic.Int64
+	// depth is the number of admitted but unfinished requests.
+	depth atomic.Int64
+	// served counts completed (2xx) inferences.
+	served atomic.Int64
+}
+
+// buildPool instantiates the device pool: Workers independent runtimes
+// per configured SoC class.
+func buildPool(cfg Config) ([]*poolDevice, error) {
+	var pool []*poolDevice
+	for _, spec := range cfg.SoCs {
+		for w := 0; w < spec.Workers; w++ {
+			rt, err := core.NewRuntime(spec.SoC())
+			if err != nil {
+				return nil, fmt.Errorf("server: build %s device %d: %w", spec.Name, w, err)
+			}
+			pool = append(pool, &poolDevice{
+				id:    len(pool),
+				name:  fmt.Sprintf("%s-%d", spec.Name, w),
+				class: spec.Name,
+				rt:    rt,
+				queue: make(chan *pending, cfg.QueueDepth),
+			})
+		}
+	}
+	return pool, nil
+}
+
+// predictedCompletion is the device's current predicted completion time:
+// its outstanding backlog in simulated nanoseconds.
+func (d *poolDevice) predictedCompletion() time.Duration {
+	return time.Duration(d.backlogNS.Load())
+}

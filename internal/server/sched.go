@@ -1,0 +1,404 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"mulayer/internal/core"
+	"mulayer/internal/exec"
+	"mulayer/internal/models"
+	"mulayer/internal/server/metrics"
+)
+
+// Admission errors, mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull means the bounded queue is at capacity (503).
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrDraining means the scheduler no longer admits requests (503).
+	ErrDraining = errors.New("server: draining")
+	// ErrNoDevice means no pool device matches the requested SoC class
+	// (400).
+	ErrNoDevice = errors.New("server: no matching device")
+)
+
+// pending is one admitted request waiting on (or occupying) a device.
+type pending struct {
+	ctx       context.Context
+	model     *models.Model
+	modelName string
+	mech      core.Mechanism
+	cost      time.Duration // predicted simulated latency on the target device
+	enqueued  time.Time
+	done      chan outcome // buffered(1): the worker never blocks on it
+}
+
+// outcome is the terminal state of one admitted request.
+type outcome struct {
+	res       *exec.Result
+	err       error
+	device    string
+	class     string
+	queueWait time.Duration
+}
+
+type costKey struct {
+	class string
+	model string
+	mech  core.Mechanism
+}
+
+// Scheduler owns the device pool, the bounded admission queue, and the
+// predictor-guided dispatcher.
+type Scheduler struct {
+	cfg     Config
+	devices []*poolDevice
+	mets    *schedMetrics
+
+	mu       sync.Mutex
+	queued   int // admitted but unfinished, across all devices
+	draining bool
+	costs    map[costKey]time.Duration
+
+	// hardCtx is canceled when a drain deadline expires: it aborts queued
+	// and in-flight work that graceful draining could not finish.
+	hardCtx  context.Context
+	hardKill context.CancelFunc
+
+	wg sync.WaitGroup
+}
+
+// schedMetrics is the scheduler's slice of the metrics registry.
+type schedMetrics struct {
+	requests  *metrics.CounterVec   // model, soc, mechanism, code
+	rejected  *metrics.CounterVec   // reason
+	timeouts  *metrics.CounterVec   // stage: queued | running
+	queueWait *metrics.HistogramVec // soc
+	simLat    *metrics.HistogramVec // model, soc, mechanism
+	wallLat   *metrics.HistogramVec // model, soc
+	inflight  *metrics.GaugeVec     // device
+}
+
+func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
+	return &schedMetrics{
+		requests: metrics.NewCounterVec(reg, "mulayer_requests_total",
+			"Inference requests by terminal status code.", "model", "soc", "mechanism", "code"),
+		rejected: metrics.NewCounterVec(reg, "mulayer_rejected_total",
+			"Requests refused at admission.", "reason"),
+		timeouts: metrics.NewCounterVec(reg, "mulayer_timeouts_total",
+			"Requests whose deadline expired, by stage.", "stage"),
+		queueWait: metrics.NewHistogramVec(reg, "mulayer_queue_wait_seconds",
+			"Wall time from admission to dispatch.", metrics.LatencyBuckets(), "soc"),
+		simLat: metrics.NewHistogramVec(reg, "mulayer_inference_latency_seconds",
+			"Simulated on-device inference latency.", metrics.LatencyBuckets(), "model", "soc", "mechanism"),
+		wallLat: metrics.NewHistogramVec(reg, "mulayer_wall_seconds",
+			"Wall time from admission to completion.", metrics.LatencyBuckets(), "model", "soc"),
+		inflight: metrics.NewGaugeVec(reg, "mulayer_inflight",
+			"Requests currently executing, by device.", "device"),
+	}
+}
+
+// NewScheduler builds the pool and starts one worker per device. The
+// registry receives the scheduler's metric families.
+func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	devices, err := buildPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hardCtx, hardKill := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:      cfg,
+		devices:  devices,
+		mets:     newSchedMetrics(reg),
+		costs:    make(map[costKey]time.Duration),
+		hardCtx:  hardCtx,
+		hardKill: hardKill,
+	}
+	metrics.NewGaugeFunc(reg, "mulayer_queue_depth",
+		"Admitted but unfinished requests across all devices.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queued)
+		})
+	for _, d := range devices {
+		s.wg.Add(1)
+		go s.worker(d)
+	}
+	return s, nil
+}
+
+// Devices returns the pool (for /statusz).
+func (s *Scheduler) Devices() []*poolDevice { return s.devices }
+
+// QueueDepth returns the number of admitted but unfinished requests.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Draining reports whether the scheduler has stopped admitting.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// estimate returns the predicted simulated latency of (model, mech) on a
+// device class, planning once and caching.
+func (s *Scheduler) estimate(d *poolDevice, m *models.Model, modelName string, mech core.Mechanism) (time.Duration, error) {
+	key := costKey{class: d.class, model: modelName, mech: mech}
+	s.mu.Lock()
+	c, ok := s.costs[key]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	plan, err := d.rt.Plan(m, core.RunConfig{Mechanism: mech})
+	if err != nil {
+		return 0, err
+	}
+	c = plan.Predicted
+	if c <= 0 {
+		c = time.Microsecond
+	}
+	s.mu.Lock()
+	s.costs[key] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// RetryAfter estimates how long a rejected client should back off: the
+// minimum predicted completion time across devices, converted to wall
+// seconds by the pacing time scale and clamped to [1s, 30s].
+func (s *Scheduler) RetryAfter() int {
+	min := time.Duration(math.MaxInt64)
+	for _, d := range s.devices {
+		if b := d.predictedCompletion(); b < min {
+			min = b
+		}
+	}
+	secs := min.Seconds()
+	if s.cfg.TimeScale > 0 {
+		secs /= s.cfg.TimeScale
+	}
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	if n > 30 {
+		n = 30
+	}
+	return n
+}
+
+// Submit admits, dispatches, and waits out one request. socClass may be
+// empty (any device) or name a configured class. The returned outcome's
+// err distinguishes admission rejections (ErrQueueFull, ErrDraining,
+// ErrNoDevice), deadline expiry (the context error), and planner errors.
+func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string) outcome {
+	// Estimate the request's cost on every eligible class before taking
+	// the admission decision: dispatch needs per-class costs to compare
+	// predicted completion times.
+	type candidate struct {
+		d    *poolDevice
+		cost time.Duration
+	}
+	var cands []candidate
+	for _, d := range s.devices {
+		if socClass != "" && d.class != socClass {
+			continue
+		}
+		cost, err := s.estimate(d, m, modelName, mech)
+		if err != nil {
+			return outcome{err: err}
+		}
+		cands = append(cands, candidate{d: d, cost: cost})
+	}
+	if len(cands) == 0 {
+		return outcome{err: fmt.Errorf("%w: soc class %q", ErrNoDevice, socClass)}
+	}
+
+	p := &pending{
+		ctx:       ctx,
+		model:     m,
+		modelName: modelName,
+		mech:      mech,
+		enqueued:  time.Now(),
+		done:      make(chan outcome, 1),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.mets.rejected.With("draining").Inc()
+		return outcome{err: ErrDraining}
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.mets.rejected.With("queue_full").Inc()
+		return outcome{err: ErrQueueFull}
+	}
+	// Makespan-style dispatch: minimum predicted completion time =
+	// device backlog + this request's predicted cost on that device.
+	best := cands[0]
+	bestDone := best.d.predictedCompletion() + best.cost
+	for _, c := range cands[1:] {
+		if done := c.d.predictedCompletion() + c.cost; done < bestDone {
+			best, bestDone = c, done
+		}
+	}
+	p.cost = best.cost
+	s.queued++
+	best.d.backlogNS.Add(int64(best.cost))
+	best.d.depth.Add(1)
+	// The queue's capacity equals the global bound, so this send cannot
+	// block; holding the mutex across it keeps Drain's close safe.
+	best.d.queue <- p
+	s.mu.Unlock()
+
+	select {
+	case out := <-p.done:
+		return out
+	case <-ctx.Done():
+		// The worker will observe the dead context when it reaches the
+		// request (or mid-run) and settle the accounting; the client gets
+		// the timeout now.
+		return outcome{err: ctx.Err(), device: best.d.name, class: best.d.class}
+	}
+}
+
+// worker drains one device's queue sequentially.
+func (s *Scheduler) worker(d *poolDevice) {
+	defer s.wg.Done()
+	for p := range d.queue {
+		s.serve(d, p)
+	}
+}
+
+// serve runs one admitted request on its device and settles accounting.
+func (s *Scheduler) serve(d *poolDevice, p *pending) {
+	wait := time.Since(p.enqueued)
+	s.mets.queueWait.With(d.class).Observe(wait.Seconds())
+
+	out := outcome{device: d.name, class: d.class, queueWait: wait}
+	switch {
+	case s.hardCtx.Err() != nil:
+		out.err = ErrDraining
+	case p.ctx.Err() != nil:
+		// Expired while queued: never touched the device.
+		out.err = p.ctx.Err()
+		s.mets.timeouts.With("queued").Inc()
+	default:
+		out.res, out.err = s.runPaced(d, p)
+	}
+
+	d.backlogNS.Add(-int64(p.cost))
+	d.depth.Add(-1)
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+
+	code := statusFor(out.err)
+	s.mets.requests.With(p.modelName, d.class, p.mech.String(), fmt.Sprint(code)).Inc()
+	if out.err == nil {
+		d.served.Add(1)
+		s.mets.simLat.With(p.modelName, d.class, p.mech.String()).Observe(out.res.Report.Latency.Seconds())
+		s.mets.wallLat.With(p.modelName, d.class).Observe(time.Since(p.enqueued).Seconds())
+	}
+	p.done <- out
+}
+
+// runPaced executes the inference and, when pacing is enabled, occupies
+// the device for the simulated latency scaled by TimeScale — so offered
+// load saturates the pool the way it would saturate the modeled hardware.
+func (s *Scheduler) runPaced(d *poolDevice, p *pending) (*exec.Result, error) {
+	runCtx, cancel := context.WithCancel(p.ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	s.mets.inflight.With(d.name).Add(1)
+	defer s.mets.inflight.With(d.name).Add(-1)
+
+	start := time.Now()
+	res, err := d.rt.RunContext(runCtx, p.model, nil, core.RunConfig{Mechanism: p.mech})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			if s.hardCtx.Err() != nil {
+				return nil, ErrDraining
+			}
+			s.mets.timeouts.With("running").Inc()
+			return nil, p.ctx.Err()
+		}
+		return nil, err
+	}
+	if s.cfg.TimeScale > 0 {
+		pace := time.Duration(float64(res.Report.Latency) / s.cfg.TimeScale)
+		if rem := pace - time.Since(start); rem > 0 {
+			t := time.NewTimer(rem)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-runCtx.Done():
+				if s.hardCtx.Err() != nil {
+					return nil, ErrDraining
+				}
+				s.mets.timeouts.With("running").Inc()
+				return nil, p.ctx.Err()
+			}
+		}
+	}
+	return res, nil
+}
+
+// Drain stops admitting, lets the pool finish queued and in-flight work,
+// and waits for the workers to exit. When ctx expires first, remaining
+// work is canceled and ctx's error returned.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, d := range s.devices {
+			close(d.queue)
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.hardKill()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// statusFor maps a request outcome error to its HTTP status code.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return 200
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		return 503
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return 504
+	case errors.Is(err, ErrNoDevice):
+		return 400
+	default:
+		return 500
+	}
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mulayer/internal/core"
+	"mulayer/internal/server/metrics"
+)
+
+// mechanisms maps API mechanism names to core mechanisms. NPU mechanisms
+// are accepted and fail per-device when the class has no NPU.
+var mechanisms = map[string]core.Mechanism{
+	"cpu":         core.MechCPUOnly,
+	"gpu":         core.MechGPUOnly,
+	"l2p":         core.MechLayerToProcessor,
+	"chdist":      core.MechChannelDist,
+	"pquant":      core.MechChannelDistProcQuant,
+	"mulayer":     core.MechMuLayer,
+	"npu":         core.MechNPUOnly,
+	"mulayer+npu": core.MechMuLayerNPU,
+}
+
+// Server is the μLayer inference server: HTTP API + scheduler + pool.
+type Server struct {
+	cfg   Config
+	sched *Scheduler
+	reg   *metrics.Registry
+	http  *http.Server
+	start time.Time
+
+	healthy atomic.Bool
+}
+
+// New builds a server (pool constructed, workers running) ready to Serve.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	sched, err := NewScheduler(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, sched: sched, reg: reg, start: time.Now()}
+	s.healthy.Store(true)
+	s.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s, nil
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// ListenAndServe serves on the configured address until Shutdown.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Serve serves on an existing listener (tests bind port 0 themselves).
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown drains gracefully: stop admitting (healthz flips to draining),
+// let the pool finish queued work within the drain timeout, then close
+// the HTTP server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.healthy.Store(false)
+	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	drainErr := s.sched.Drain(drainCtx)
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return drainErr
+}
+
+// InferRequest is the body of POST /v1/infer.
+type InferRequest struct {
+	// Model names a loaded model (see /v1/models).
+	Model string `json:"model"`
+	// Mechanism is the execution mechanism (default "mulayer").
+	Mechanism string `json:"mechanism,omitempty"`
+	// SoC pins the request to one device class; empty lets the scheduler
+	// pick any device.
+	SoC string `json:"soc,omitempty"`
+	// TimeoutMS overrides the server's default request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// InferResponse is the body of a 200 reply.
+type InferResponse struct {
+	Model       string  `json:"model"`
+	Mechanism   string  `json:"mechanism"`
+	SoC         string  `json:"soc"`
+	Device      string  `json:"device"`
+	LatencyUS   float64 `json:"latency_us"`
+	EnergyMJ    float64 `json:"energy_mj"`
+	QueueWaitUS float64 `json:"queue_wait_us"`
+	WallUS      float64 `json:"wall_us"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	m, ok := s.cfg.Models[req.Model]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q", req.Model)})
+		return
+	}
+	mechName := req.Mechanism
+	if mechName == "" {
+		mechName = "mulayer"
+	}
+	mech, ok := mechanisms[mechName]
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown mechanism %q", mechName)})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	wallStart := time.Now()
+	out := s.sched.Submit(ctx, req.Model, m, mech, req.SoC)
+	code := statusFor(out.err)
+	if out.err != nil {
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", fmt.Sprint(s.sched.RetryAfter()))
+		}
+		writeJSON(w, code, errorBody{Error: out.err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, InferResponse{
+		Model:       req.Model,
+		Mechanism:   mechName,
+		SoC:         out.class,
+		Device:      out.device,
+		LatencyUS:   float64(out.res.Report.Latency) / float64(time.Microsecond),
+		EnergyMJ:    out.res.Report.TotalJ() * 1e3,
+		QueueWaitUS: float64(out.queueWait) / float64(time.Microsecond),
+		WallUS:      float64(time.Since(wallStart)) / float64(time.Microsecond),
+	})
+}
+
+// ModelInfo describes one served model.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Layers      int    `json:"layers"`
+	HasBranches bool   `json:"has_branches"`
+	SpecOnly    bool   `json:"spec_only"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.cfg.Models))
+	for n := range s.cfg.Models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := struct {
+		Models     []ModelInfo `json:"models"`
+		Mechanisms []string    `json:"mechanisms"`
+		SoCs       []string    `json:"socs"`
+	}{}
+	for _, n := range names {
+		m := s.cfg.Models[n]
+		out.Models = append(out.Models, ModelInfo{
+			Name:        n,
+			Layers:      m.Graph.Len(),
+			HasBranches: m.HasBranches,
+			SpecOnly:    m.SpecOnly,
+		})
+	}
+	for name := range mechanisms {
+		out.Mechanisms = append(out.Mechanisms, name)
+	}
+	sort.Strings(out.Mechanisms)
+	for _, spec := range s.cfg.SoCs {
+		out.SoCs = append(out.SoCs, spec.Name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.healthy.Load() || s.sched.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// deviceStatus is one device's row in /statusz.
+type deviceStatus struct {
+	Device    string  `json:"device"`
+	SoC       string  `json:"soc"`
+	Queued    int64   `json:"queued"`
+	BacklogMS float64 `json:"backlog_ms"`
+	Served    int64   `json:"served"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	devs := s.sched.Devices()
+	out := struct {
+		UptimeS    float64        `json:"uptime_s"`
+		QueueDepth int            `json:"queue_depth"`
+		QueueCap   int            `json:"queue_cap"`
+		Draining   bool           `json:"draining"`
+		TimeScale  float64        `json:"time_scale"`
+		Devices    []deviceStatus `json:"devices"`
+	}{
+		UptimeS:    time.Since(s.start).Seconds(),
+		QueueDepth: s.sched.QueueDepth(),
+		QueueCap:   s.cfg.QueueDepth,
+		Draining:   s.sched.Draining(),
+		TimeScale:  s.cfg.TimeScale,
+	}
+	for _, d := range devs {
+		out.Devices = append(out.Devices, deviceStatus{
+			Device:    d.name,
+			SoC:       d.class,
+			Queued:    d.depth.Load(),
+			BacklogMS: float64(d.predictedCompletion()) / float64(time.Millisecond),
+			Served:    d.served.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = s.reg.WriteTo(w)
+}
+
+// ParseMechanism resolves an API mechanism name (exported for the load
+// generator and serve binary's flag validation).
+func ParseMechanism(name string) (core.Mechanism, error) {
+	if name == "" {
+		return core.MechMuLayer, nil
+	}
+	if m, ok := mechanisms[name]; ok {
+		return m, nil
+	}
+	names := make([]string, 0, len(mechanisms))
+	for n := range mechanisms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return 0, fmt.Errorf("unknown mechanism %q (want %s)", name, strings.Join(names, ", "))
+}

@@ -38,6 +38,7 @@ import (
 	"mulayer/internal/models"
 	"mulayer/internal/partition"
 	"mulayer/internal/quant"
+	"mulayer/internal/server"
 	"mulayer/internal/sim"
 	"mulayer/internal/soc"
 	"mulayer/internal/tensor"
@@ -164,6 +165,29 @@ func CalibrationSet(m *Model, n int, seed uint64) []*Tensor {
 	}
 	return out
 }
+
+// Serving types: the inference server of cmd/mulayer-serve, exposed so
+// library users can embed the HTTP API, device pool, and scheduler (see
+// docs/serving.md).
+type (
+	// Server is the μLayer inference server: an HTTP JSON API over a pool
+	// of simulated SoC devices with predictor-guided request scheduling,
+	// bounded-queue admission control, and graceful drain.
+	Server = server.Server
+	// ServerConfig configures the server: listen address, device pool,
+	// served models, queue depth, deadlines, and pacing time scale.
+	ServerConfig = server.Config
+	// SoCSpec names one device class of the pool and its worker count.
+	SoCSpec = server.SoCSpec
+	// InferRequest is the body of POST /v1/infer.
+	InferRequest = server.InferRequest
+	// InferResponse is the body of a successful /v1/infer reply.
+	InferResponse = server.InferResponse
+)
+
+// NewServer builds an inference server (pool constructed, scheduler
+// workers running) ready to ListenAndServe.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Experiments exposes the paper-reproduction harness: every figure and
 // table of the evaluation as renderable text tables (see cmd/mulayer-bench
