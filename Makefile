@@ -1,15 +1,24 @@
 # Tier-1 verification for the μLayer reproduction.
 #
-#   make ci      build + vet + race-enabled tests (the pre-merge gate)
-#   make test    fast test run (no race detector)
-#   make serve   run the inference server on :8080
-#   make load    drive a running server at 50 qps for 10s
+#   make ci          build + vet + race tests + coverage gate + fuzz smoke
+#   make test        fast test run (no race detector)
+#   make race        race-enabled test run
+#   make cover       coverage gate for the serving subsystem
+#   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
+#   make serve       run the inference server on :8080
+#   make load        drive a running server at 50 qps for 10s
 
 GO ?= go
 
-.PHONY: ci build vet test race serve load
+# Each fuzz target gets this much wall time in the smoke pass.
+FUZZTIME ?= 10s
+# internal/server statement coverage must not fall below this floor
+# (measured 82.5% when the gate was introduced).
+COVER_FLOOR ?= 75
 
-ci: build vet race
+.PHONY: ci build vet test race cover fuzz-smoke serve load
+
+ci: build vet race cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +31,25 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+cover:
+	@out=$$($(GO) test -cover ./internal/server/); \
+	echo "$$out"; \
+	pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	if [ -z "$$pct" ]; then echo "cover: no coverage figure in output" >&2; exit 1; fi; \
+	awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (p + 0 < f + 0) { printf "cover: %.1f%% is below the %s%% floor\n", p, f; exit 1 } \
+		printf "cover: %.1f%% (floor %s%%)\n", p, f }'
+
+# Go only accepts one -fuzz pattern per invocation, so smoke each target
+# separately; -run=^$ skips the regular tests on each pass.
+fuzz-smoke:
+	$(GO) test ./internal/quant -run='^$$' -fuzz='^FuzzChooseParams$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/quant -run='^$$' -fuzz='^FuzzRequantize$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/quant -run='^$$' -fuzz='^FuzzRoundingDivideByPOT$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/f16 -run='^$$' -fuzz='^FuzzFromFloat32$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/f16 -run='^$$' -fuzz='^FuzzArithmetic$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeInferRequest$$' -fuzztime=$(FUZZTIME)
 
 serve:
 	$(GO) run ./cmd/mulayer-serve

@@ -8,6 +8,7 @@
 //	mulayer-serve                                  # :8080, 2×high + 2×mid
 //	mulayer-serve -addr :9000 -socs high=4,mid=2
 //	mulayer-serve -queue 64 -timeout 500ms -timescale 1
+//	mulayer-serve -max-batch 8 -batch-wait 2ms     # dynamic micro-batching
 //
 // Endpoints:
 //
@@ -20,6 +21,11 @@
 // With -timescale T each device stays busy for simulatedLatency/T of wall
 // time per inference, so offered load saturates the pool the way it would
 // saturate the modeled hardware; -timescale 0 disables pacing.
+//
+// With -max-batch N > 1 the scheduler coalesces same-model requests that
+// arrive within -batch-wait of each other into one fused batched
+// execution (up to N rows), which amortizes kernel launches and weight
+// reads; -max-batch 1 serves every request individually.
 package main
 
 import (
@@ -79,6 +85,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
 	timescale := flag.Float64("timescale", 10, "device pacing: simulated latency / timescale of wall time per inference (0 = no pacing)")
+	maxBatch := flag.Int("max-batch", 8, "max rows fused into one batched execution (1 = no batching)")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "how long an open batch window waits for more same-model requests")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
 	flag.Parse()
 
@@ -94,6 +102,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		TimeScale:      *timescale,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
 		DrainTimeout:   *drain,
 	})
 	if err != nil {
@@ -105,7 +115,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (pool %s, queue %d, timescale %g)", *addr, *socs, *queue, *timescale)
+	log.Printf("serving on %s (pool %s, queue %d, timescale %g, max-batch %d, batch-wait %v)",
+		*addr, *socs, *queue, *timescale, *maxBatch, *batchWait)
 
 	select {
 	case err := <-errCh:

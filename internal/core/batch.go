@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"mulayer/internal/exec"
+	"mulayer/internal/models"
+	"mulayer/internal/partition"
+	"mulayer/internal/tensor"
+)
+
+// RunBatch plans and executes one fused micro-batch: every item's rows are
+// fused into a single batched kernel per layer, so the batch pays one
+// kernel launch and one weight read per layer regardless of the row count.
+// Per-item deadlines ride on each item's Ctx — a cancelled item is dropped
+// from the batch (its result carries the context error) without aborting
+// its batchmates. A one-item, one-row batch is equivalent to RunContext.
+func (rt *Runtime) RunBatch(m *models.Model, items []exec.FusedItem, rc RunConfig) (*exec.FusedResult, error) {
+	plan, err := rt.Plan(m, rc)
+	if err != nil {
+		return nil, err
+	}
+	return rt.RunBatchPlan(m, plan, items, rc)
+}
+
+// RunBatchPlan is RunBatch under a previously built plan — the serving
+// path, where the plan comes from a PlanCache instead of a per-request
+// partitioner run. The plan must cover m's graph and match rc's pipeline
+// (use PlanCache.Plan or Runtime.Plan with the same RunConfig).
+func (rt *Runtime) RunBatchPlan(m *models.Model, plan *partition.Plan, items []exec.FusedItem, rc RunConfig) (*exec.FusedResult, error) {
+	o, err := rt.options(rc)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Numeric {
+		if m.SpecOnly {
+			return nil, fmt.Errorf("core: model %s is spec-only; build it with Config.Numeric", m.Name)
+		}
+		if o.Pipe.Storage == tensor.QUInt8 && !m.Calibrated {
+			return nil, fmt.Errorf("core: model %s is not calibrated; run Calibrate first", m.Name)
+		}
+	}
+	cfg := exec.Config{
+		SoC:         rt.soc,
+		Pipe:        o.Pipe,
+		Numeric:     rc.Numeric,
+		InputParams: m.InputParams,
+		AsyncIssue:  !rc.DisableAsyncIssue,
+		ZeroCopy:    !rc.DisableZeroCopy,
+	}
+	return exec.RunFused(m.Graph, plan, items, cfg)
+}

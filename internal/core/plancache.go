@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mulayer/internal/exec"
+	"mulayer/internal/models"
+	"mulayer/internal/partition"
+)
+
+// planKey identifies one cached plan. The mechanism (plus the data type,
+// which only the single-processor mechanisms consult) fully determines the
+// partitioner's split ratios for a model, so the split ratio the issue's
+// cache key names is an attribute of the entry, not a free key dimension.
+type planKey struct {
+	model string
+	rc    RunConfig
+}
+
+// cacheRC strips the per-request fields that do not influence planning or
+// cost so equivalent requests share one entry.
+func cacheRC(rc RunConfig) RunConfig {
+	rc.Numeric = false
+	return rc
+}
+
+type planEntry struct {
+	plan *partition.Plan
+	// makespans memoizes the predicted fused-batch makespan per row count,
+	// filled by cost-only simulation of the cached plan on first demand.
+	makespans map[int]time.Duration
+}
+
+// PlanCache memoizes partitioner plans and predicted batched makespans for
+// one Runtime, keyed by (model, run config, batch rows): the serving layer
+// pays the partitioner and the latency predictor once per key instead of
+// once per request. Safe for concurrent use; a miss builds the plan while
+// holding the cache lock, serializing concurrent first requests for the
+// same model instead of duplicating planner work.
+type PlanCache struct {
+	rt *Runtime
+
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+	hits    int64
+	misses  int64
+}
+
+// NewPlanCache returns an empty cache bound to rt.
+func NewPlanCache(rt *Runtime) *PlanCache {
+	return &PlanCache{rt: rt, entries: make(map[planKey]*planEntry)}
+}
+
+// Runtime returns the cache's runtime.
+func (c *PlanCache) Runtime() *Runtime { return c.rt }
+
+func (c *PlanCache) entry(m *models.Model, rc RunConfig) (*planEntry, error) {
+	key := planKey{model: m.Name, rc: cacheRC(rc)}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e, nil
+	}
+	c.misses++
+	plan, err := c.rt.Plan(m, rc)
+	if err != nil {
+		return nil, err
+	}
+	e := &planEntry{plan: plan, makespans: make(map[int]time.Duration)}
+	c.entries[key] = e
+	return e, nil
+}
+
+// Plan returns the cached plan for (m, rc), running the partitioner on the
+// first request for the key.
+func (c *PlanCache) Plan(m *models.Model, rc RunConfig) (*partition.Plan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, err := c.entry(m, rc)
+	if err != nil {
+		return nil, err
+	}
+	return e.plan, nil
+}
+
+// Estimate returns the predicted makespan of a fused batch of rows rows
+// under (m, rc) — the number the scheduler uses for admission control,
+// Retry-After, and device pacing. The first request for a (key, rows) pair
+// simulates the cached plan cost-only; later requests hit the memo.
+func (c *PlanCache) Estimate(m *models.Model, rc RunConfig, rows int) (time.Duration, error) {
+	if rows < 1 {
+		rows = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, err := c.entry(m, rc)
+	if err != nil {
+		return 0, err
+	}
+	if d, ok := e.makespans[rows]; ok {
+		c.hits++
+		return d, nil
+	}
+	c.misses++
+	rcCost := cacheRC(rc)
+	res, err := c.rt.RunBatchPlan(m, e.plan, []exec.FusedItem{{Rows: rows}}, rcCost)
+	if err != nil {
+		return 0, err
+	}
+	e.makespans[rows] = res.Report.Latency
+	return res.Report.Latency, nil
+}
+
+// PlanCacheStats is a snapshot of a cache's effectiveness counters.
+type PlanCacheStats struct {
+	// Plans is the number of distinct (model, config) plans held.
+	Plans int `json:"plans"`
+	// Makespans is the number of memoized (plan, rows) cost estimates.
+	Makespans int   `json:"makespans"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := PlanCacheStats{Plans: len(c.entries), Hits: c.hits, Misses: c.misses}
+	for _, e := range c.entries {
+		s.Makespans += len(e.makespans)
+	}
+	return s
+}

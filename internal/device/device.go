@@ -127,6 +127,13 @@ type Work struct {
 	// kernel. Split kernels run at SideChannels/(SideChannels+knee) of the
 	// full-kernel rate.
 	SideChannels int
+	// Rows is the GEMM row-panel multiplicity of a fused micro-batch: the
+	// number of independent input rows carried by the kernel (0 and 1 mean
+	// a single inference). MACs and MovedBytes must already be scaled by
+	// the caller; Rows additionally recovers the M-dimension utilization
+	// of GEMV-shaped FC kernels, whose single-row derate shrinks as the
+	// row panel widens.
+	Rows int
 }
 
 // PeakMACs returns the processor's peak MAC/s for a compute type.
@@ -148,6 +155,18 @@ func (p *Processor) KernelTime(w Work) time.Duration {
 	eff, ok := p.EffByKind[w.Kind]
 	if !ok {
 		eff = 1
+	}
+	if w.Rows > 1 && w.Kind == nn.OpFC {
+		// A single-row FC is a GEMV: M = 1 leaves the kernel
+		// weight-bandwidth-starved, which is what the EffByKind derate
+		// models. A fused row panel restores M = Rows and with it the
+		// blocked GEMM's weight reuse, linearly up to the conv
+		// reference rate.
+		if re := eff * float64(w.Rows); re < 1 {
+			eff = re
+		} else {
+			eff = 1
+		}
 	}
 	rate := p.PeakMACs(w.Compute) * eff
 	if w.WorkingSetBytes > p.CacheBytes {

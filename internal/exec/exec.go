@@ -95,7 +95,19 @@ type runner struct {
 
 	ready      map[graph.NodeID]time.Duration
 	producedOn map[graph.NodeID]procMask
-	values     map[graph.NodeID]any
+
+	// batch is the number of input rows fused into every kernel of this
+	// run (≥1). Rows share each layer's weights: activations, compute, and
+	// output traffic scale with the row count while the weight traffic and
+	// the per-layer kernel launch are paid once — the row-panel
+	// amortization server-side micro-batching exists to exploit.
+	batch int
+	// items carries the per-member state of a fused run: one entry per
+	// batch member (a single Run has exactly one). Numeric value maps are
+	// populated only in numeric mode; a member whose context dies mid-run
+	// records its error here and stops receiving numeric work without
+	// disturbing its batchmates.
+	items []*fusedMember
 
 	// seq is the completion time of the previous plan step: μLayer's
 	// executor processes the plan sequentially, one step at a time (§5
@@ -119,7 +131,7 @@ func newRunner(g *graph.Graph, cfg Config, shapes map[graph.NodeID]tensor.Shape,
 		tl:         tl,
 		ready:      make(map[graph.NodeID]time.Duration),
 		producedOn: make(map[graph.NodeID]procMask),
-		values:     make(map[graph.NodeID]any),
+		batch:      1,
 		seq:        arrival,
 		all:        onCPU | onGPU,
 	}
@@ -133,6 +145,53 @@ func newRunner(g *graph.Graph, cfg Config, shapes map[graph.NodeID]tensor.Shape,
 	return r
 }
 
+// fusedMember is one batch member of a (possibly fused) run.
+type fusedMember struct {
+	// ctx, when non-nil, is this member's own deadline/cancellation: its
+	// expiry drops the member from the batch without touching batchmates.
+	ctx context.Context
+	// err records the member's terminal context error once dropped.
+	err error
+	// vals holds the member's per-node activations in numeric mode.
+	vals map[graph.NodeID]any
+}
+
+// checkMembers drops batch members whose context has died since the last
+// plan step. Their rows stay in the fused panels (the work is already
+// fused), but they receive no further numeric computation.
+func (r *runner) checkMembers() {
+	for _, it := range r.items {
+		if it.err == nil && it.ctx != nil {
+			if err := it.ctx.Err(); err != nil {
+				it.err = err
+			}
+		}
+	}
+}
+
+// eachLive runs fn once per still-live member's value map; a no-op in
+// cost-only mode.
+func (r *runner) eachLive(fn func(vals map[graph.NodeID]any)) {
+	if !r.cfg.Numeric {
+		return
+	}
+	for _, it := range r.items {
+		if it.err == nil {
+			fn(it.vals)
+		}
+	}
+}
+
+// scaleBatch widens a layer cost to the fused batch: activations, compute,
+// and outputs grow with the row count; the weights are read once.
+func (r *runner) scaleBatch(c nn.Cost) nn.Cost {
+	if r.batch <= 1 {
+		return c
+	}
+	b := int64(r.batch)
+	return nn.Cost{MACs: c.MACs * b, InElems: c.InElems * b, WElems: c.WElems, OutElems: c.OutElems * b}
+}
+
 // execute walks the plan's steps in order, aborting between steps once the
 // configured context is done.
 func (r *runner) execute(plan *partition.Plan) error {
@@ -142,6 +201,7 @@ func (r *runner) execute(plan *partition.Plan) error {
 				return err
 			}
 		}
+		r.checkMembers()
 		switch {
 		case st.Layer != nil:
 			if st.Layer.PNPU > 0 && st.Layer.PNPU < 1 {
@@ -187,9 +247,11 @@ func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config)
 	}
 
 	r := newRunner(g, cfg, shapes, sim.NewTimeline(), 0)
+	it := &fusedMember{}
 	if cfg.Numeric {
-		r.values[g.Input()] = r.convertInput(input)
+		it.vals = map[graph.NodeID]any{g.Input(): r.convertInput(input)}
 	}
+	r.items = []*fusedMember{it}
 	if err := r.execute(plan); err != nil {
 		return nil, err
 	}
@@ -212,7 +274,7 @@ func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config)
 	}
 	res := &Result{Report: rep, Timeline: r.tl}
 	if cfg.Numeric {
-		res.Output = r.outputF32(g.Output())
+		res.Output = outputF32(it.vals, g.Output())
 	}
 	return res, nil
 }
@@ -231,8 +293,8 @@ func (r *runner) convertInput(in *tensor.Tensor) any {
 }
 
 // outputF32 widens the final activation back to float32.
-func (r *runner) outputF32(id graph.NodeID) *tensor.Tensor {
-	switch v := r.values[id].(type) {
+func outputF32(vals map[graph.NodeID]any, id graph.NodeID) *tensor.Tensor {
+	switch v := vals[id].(type) {
 	case *tensor.Tensor:
 		return v
 	case *tensor.HTensor:
@@ -277,9 +339,10 @@ func (r *runner) inputsReady(id graph.NodeID, need procMask) time.Duration {
 
 // syncCost is the latency of making one tensor visible across processors:
 // zero-copy cache maintenance over the buffer, or a full copy in the
-// ablation configuration.
+// ablation configuration. Fused batches carry one activation buffer per
+// row, so the maintained bytes scale with the row count.
 func (r *runner) syncCost(id graph.NodeID) time.Duration {
-	bytes := int64(r.shapes[id].Elems()) * r.cfg.Pipe.Storage.Size()
+	bytes := int64(r.shapes[id].Elems()) * r.cfg.Pipe.Storage.Size() * int64(r.batch)
 	if r.cfg.ZeroCopy {
 		return r.cfg.SoC.SyncCost(bytes)
 	}
@@ -294,14 +357,20 @@ func (r *runner) syncCost(id graph.NodeID) time.Duration {
 func (r *runner) sideWork(p partition.Proc, kind nn.OpKind, c nn.Cost, sideCh int) device.Work {
 	ssz := r.cfg.Pipe.Storage.Size()
 	wsz := r.cfg.Pipe.WeightBytes(p)
+	// The resident set stays per-row under fusion: a row-paneled kernel
+	// streams one row tile at a time past the cache-resident weight block,
+	// so batching widens the panel without pushing the layer over the
+	// cache knee.
+	perRowIn := c.InElems / int64(r.batch)
 	return device.Work{
 		Kind:            kind,
 		MACs:            c.MACs,
 		MovedBytes:      c.InElems*ssz + c.WElems*wsz + c.OutElems*ssz,
-		WorkingSetBytes: c.InElems*ssz + c.WElems*wsz,
+		WorkingSetBytes: perRowIn*ssz + c.WElems*wsz,
 		Compute:         r.cfg.Pipe.ComputeType(p),
 		Converted:       r.cfg.Pipe.Converted(p),
 		SideChannels:    sideCh,
+		Rows:            r.batch,
 	}
 }
 
@@ -319,7 +388,7 @@ func (r *runner) runSingle(id graph.NodeID, p partition.Proc) {
 func (r *runner) runWhole(id graph.NodeID, p partition.Proc, chargeLaunch bool, floor time.Duration) {
 	n := r.g.Node(id)
 	ins := r.g.InputShapes(id, r.shapes)
-	cost := n.Layer.Cost(ins)
+	cost := r.scaleBatch(n.Layer.Cost(ins))
 	ready := r.inputsReady(id, maskOf(p))
 	if floor > ready {
 		ready = floor
@@ -335,11 +404,11 @@ func (r *runner) runWhole(id graph.NodeID, p partition.Proc, chargeLaunch bool, 
 	r.dramBytes += w.MovedBytes
 	r.ready[id] = end
 	r.producedOn[id] = maskOf(p)
-	if r.cfg.Numeric {
-		out := r.allocOut(id)
-		r.forward(id, out, 0, r.fullRange(id), p)
-		r.values[id] = out
-	}
+	r.eachLive(func(vals map[graph.NodeID]any) {
+		out := r.allocOut(id, vals)
+		r.forward(id, out, 0, r.fullRange(id), p, vals)
+		vals[id] = out
+	})
 }
 
 // runLayer executes one plan layer step with split ratio p.
@@ -369,7 +438,7 @@ func (r *runner) runLayer(id graph.NodeID, p float64) {
 	}
 	pEff := float64(splitC) / float64(c)
 
-	cost := n.Layer.Cost(ins)
+	cost := r.scaleBatch(n.Layer.Cost(ins))
 	kind := n.Layer.Kind()
 	ready := r.inputsReady(id, onCPU|onGPU)
 	if r.seq > ready {
@@ -412,19 +481,19 @@ func (r *runner) runLayer(id graph.NodeID, p float64) {
 	coherent := (cost.InElems + cost.OutElems) * ssz
 	end += r.cfg.SoC.SyncCost(coherent)
 	if !r.cfg.ZeroCopy {
-		bytes := int64(r.shapes[id].Elems()) * ssz
+		bytes := int64(r.shapes[id].Elems()) * ssz * int64(r.batch)
 		end += r.cfg.SoC.CopySyncOverhead + time.Duration(float64(bytes)/(cpu.MemBWGBs*1e9)*float64(time.Second))
 	}
 	r.ready[id] = end
 	r.producedOn[id] = r.all
 	r.seq = end
 
-	if r.cfg.Numeric {
-		out := r.allocOut(id)
-		r.forward(id, out, 0, splitC, partition.ProcCPU)
-		r.forward(id, out, splitC, c, partition.ProcGPU)
-		r.values[id] = out
-	}
+	r.eachLive(func(vals map[graph.NodeID]any) {
+		out := r.allocOut(id, vals)
+		r.forward(id, out, 0, splitC, partition.ProcCPU, vals)
+		r.forward(id, out, splitC, c, partition.ProcGPU, vals)
+		vals[id] = out
+	})
 }
 
 // runBranch executes one branch-distributed fork-join group: every branch
@@ -459,7 +528,7 @@ func (r *runner) fullRange(id graph.NodeID) int {
 }
 
 // allocOut allocates the node's output tensor in the storage type.
-func (r *runner) allocOut(id graph.NodeID) any {
+func (r *runner) allocOut(id graph.NodeID, vals map[graph.NodeID]any) any {
 	shape := r.shapes[id]
 	switch r.cfg.Pipe.Storage {
 	case tensor.F32:
@@ -467,7 +536,7 @@ func (r *runner) allocOut(id graph.NodeID) any {
 	case tensor.F16:
 		return tensor.NewH(shape)
 	case tensor.QUInt8:
-		return tensor.NewQ(shape, r.outParams(id))
+		return tensor.NewQ(shape, r.outParams(id, vals))
 	}
 	panic("exec: unknown storage type")
 }
@@ -475,13 +544,13 @@ func (r *runner) allocOut(id graph.NodeID) any {
 // outParams resolves the quantization grid of a node's output: the layer's
 // calibrated output params, falling back to its first input's params for
 // shape-preserving layers.
-func (r *runner) outParams(id graph.NodeID) quant.Params {
+func (r *runner) outParams(id graph.NodeID, vals map[graph.NodeID]any) quant.Params {
 	n := r.g.Node(id)
 	if qi := n.Layer.Quant(); qi != nil && qi.Ready {
 		return qi.Out
 	}
 	if len(n.Inputs) > 0 {
-		if q, ok := r.values[n.Inputs[0]].(*tensor.QTensor); ok {
+		if q, ok := vals[n.Inputs[0]].(*tensor.QTensor); ok {
 			return q.Params
 		}
 	}
@@ -506,21 +575,22 @@ type qViaF16Forwarder interface {
 }
 
 // forward dispatches the numeric kernel for channels [c0,c1) of node id on
-// the pipeline of processor side.
-func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Proc) {
+// the pipeline of processor side, reading and writing one batch member's
+// value map.
+func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Proc, vals map[graph.NodeID]any) {
 	n := r.g.Node(id)
 	layer := n.Layer
 	switch r.cfg.Pipe.Storage {
 	case tensor.F32:
 		ins := make([]*tensor.Tensor, len(n.Inputs))
 		for i, inID := range n.Inputs {
-			ins[i] = r.values[inID].(*tensor.Tensor)
+			ins[i] = vals[inID].(*tensor.Tensor)
 		}
 		layer.(f32Forwarder).ForwardF32(ins, out.(*tensor.Tensor), c0, c1)
 	case tensor.F16:
 		ins := make([]*tensor.HTensor, len(n.Inputs))
 		for i, inID := range n.Inputs {
-			ins[i] = r.values[inID].(*tensor.HTensor)
+			ins[i] = vals[inID].(*tensor.HTensor)
 		}
 		switch l := layer.(type) {
 		case hWeightedForwarder:
@@ -533,7 +603,7 @@ func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Pr
 	case tensor.QUInt8:
 		ins := make([]*tensor.QTensor, len(n.Inputs))
 		for i, inID := range n.Inputs {
-			ins[i] = r.values[inID].(*tensor.QTensor)
+			ins[i] = vals[inID].(*tensor.QTensor)
 		}
 		if r.cfg.Pipe.Converted(side) {
 			if l, ok := layer.(qViaF16Forwarder); ok {

@@ -39,7 +39,7 @@ func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
 		return
 	}
 
-	cost := n.Layer.Cost(ins)
+	cost := r.scaleBatch(n.Layer.Cost(ins))
 	kind := n.Layer.Kind()
 	ready := r.inputsReady(id, r.all)
 	if r.seq > ready {
@@ -83,29 +83,29 @@ func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
 	ssz := r.cfg.Pipe.Storage.Size()
 	end += r.cfg.SoC.SyncCost((cost.InElems + cost.OutElems) * ssz)
 	if !r.cfg.ZeroCopy {
-		bytes := int64(r.shapes[id].Elems()) * ssz
+		bytes := int64(r.shapes[id].Elems()) * ssz * int64(r.batch)
 		end += r.cfg.SoC.CopySyncOverhead + time.Duration(float64(bytes)/(r.cfg.SoC.CPU.MemBWGBs*1e9)*float64(time.Second))
 	}
 	r.ready[id] = end
 	r.producedOn[id] = r.all
 	r.seq = end
 
-	if r.cfg.Numeric {
-		out := r.allocOut(id)
+	r.eachLive(func(vals map[graph.NodeID]any) {
+		out := r.allocOut(id, vals)
 		lo := 0
 		if cpuCh > 0 {
-			r.forward(id, out, lo, lo+cpuCh, partition.ProcCPU)
+			r.forward(id, out, lo, lo+cpuCh, partition.ProcCPU, vals)
 			lo += cpuCh
 		}
 		if gpuCh > 0 {
-			r.forward(id, out, lo, lo+gpuCh, partition.ProcGPU)
+			r.forward(id, out, lo, lo+gpuCh, partition.ProcGPU, vals)
 			lo += gpuCh
 		}
 		if npuCh > 0 {
-			r.forward(id, out, lo, lo+npuCh, partition.ProcNPU)
+			r.forward(id, out, lo, lo+npuCh, partition.ProcNPU, vals)
 		}
-		r.values[id] = out
-	}
+		vals[id] = out
+	})
 }
 
 func procSuffix(p partition.Proc) string {

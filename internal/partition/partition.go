@@ -431,6 +431,26 @@ func (p *Plan) SplitCount() int {
 	return n
 }
 
+// MeanSplit returns the mean CPU split ratio over the plan's layer steps —
+// the one-number split summary surfaced by plan caches and serving
+// metrics. Branch-distributed steps carry no split ratio and are skipped;
+// a plan with no layer steps reports 0.
+func (p *Plan) MeanSplit() float64 {
+	var sum float64
+	n := 0
+	for _, s := range p.Steps {
+		if s.Layer == nil {
+			continue
+		}
+		sum += s.Layer.P
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // BranchCount returns the number of branch-distributed groups in the plan.
 func (p *Plan) BranchCount() int {
 	n := 0

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"time"
+
+	"mulayer/internal/core"
+	"mulayer/internal/models"
+)
+
+// groupKey identifies one batching window: only requests for the same
+// model, mechanism, and SoC-class constraint can share a fused execution.
+type groupKey struct {
+	model string
+	mech  core.Mechanism
+	soc   string // requested class ("" = any device)
+}
+
+// batchGroup is one micro-batch: an open accumulation window while in
+// s.open, then a dispatched unit of work on a device queue. All mutable
+// fields are guarded by the scheduler mutex until dispatch; after dispatch
+// the group is owned by exactly one device worker.
+type batchGroup struct {
+	key    groupKey
+	model  *models.Model
+	items  []*pending
+	rows   int // total rows across items
+	opened time.Time
+	timer  *time.Timer
+	// flushed flips when the group leaves the open set; it makes the
+	// window timer, a MaxBatch fill, and Drain idempotent against each
+	// other.
+	flushed bool
+	// cost is the predicted fused makespan charged to the device backlog
+	// at dispatch, released when the batch settles.
+	cost time.Duration
+}
+
+// runCfg is the serving run configuration for a mechanism (cost-only:
+// serving simulates latency and energy over spec models).
+func runCfg(mech core.Mechanism) core.RunConfig {
+	return core.RunConfig{Mechanism: mech}
+}
+
+// enqueueLocked adds an admitted request to its batching window, opening
+// one (with its flush timer) if needed and dispatching when the window
+// fills. Caller holds s.mu.
+func (s *Scheduler) enqueueLocked(p *pending, socClass string) {
+	key := groupKey{model: p.modelName, mech: p.mech, soc: socClass}
+	g := s.open[key]
+	if g != nil && g.rows+p.rows > s.cfg.MaxBatch {
+		// The newcomer would overflow the window: seal it and start fresh.
+		s.dispatchLocked(g)
+		g = nil
+	}
+	if g == nil {
+		g = &batchGroup{key: key, model: p.model, opened: time.Now()}
+		s.open[key] = g
+		if s.cfg.MaxBatch > 1 && s.cfg.BatchWait > 0 {
+			g.timer = time.AfterFunc(s.cfg.BatchWait, func() {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				if !g.flushed {
+					s.dispatchLocked(g)
+				}
+			})
+		}
+	}
+	g.items = append(g.items, p)
+	g.rows += p.rows
+	if g.rows >= s.cfg.MaxBatch {
+		s.dispatchLocked(g)
+	}
+}
+
+// dispatchLocked seals a window and hands it to the device with the
+// minimum predicted completion time for the fused batch — the makespan
+// argument of the single-request dispatcher, evaluated at the batch's
+// actual row count via the per-class plan cache. Caller holds s.mu.
+func (s *Scheduler) dispatchLocked(g *batchGroup) {
+	g.flushed = true
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	delete(s.open, g.key)
+	s.mets.windowWait.With(g.key.model).Observe(time.Since(g.opened).Seconds())
+
+	var best *poolDevice
+	var bestCost, bestDone time.Duration
+	for _, d := range s.devices {
+		if g.key.soc != "" && d.class != g.key.soc {
+			continue
+		}
+		cost, err := s.caches[d.class].Estimate(g.model, runCfg(g.key.mech), g.rows)
+		if err != nil {
+			// Admission warmed the single-row estimate, so a failure here
+			// is a planner regression; fail the whole group.
+			s.settleGroupLocked(g, err)
+			return
+		}
+		if done := d.predictedCompletion() + cost; best == nil || done < bestDone {
+			best, bestCost, bestDone = d, cost, done
+		}
+	}
+	if best == nil {
+		s.settleGroupLocked(g, ErrNoDevice)
+		return
+	}
+	g.cost = bestCost
+	best.backlogNS.Add(int64(bestCost))
+	best.depth.Add(int64(len(g.items)))
+	// The queue's capacity equals the global request bound and every group
+	// holds at least one request, so this send cannot block; holding the
+	// mutex across it keeps Drain's close safe.
+	best.queue <- g
+}
+
+// settleGroupLocked fails every member of an undispatched group. Caller
+// holds s.mu.
+func (s *Scheduler) settleGroupLocked(g *batchGroup, err error) {
+	s.queued -= len(g.items)
+	for _, p := range g.items {
+		p.done <- outcome{err: err}
+	}
+}

@@ -53,6 +53,18 @@ type Config struct {
 	// 503 + Retry-After (default 256).
 	QueueDepth int
 
+	// MaxBatch caps the rows fused into one batched execution by the
+	// micro-batcher. Admitted requests for the same (model, mechanism,
+	// class constraint) accumulate in an open window until it holds
+	// MaxBatch rows or BatchWait elapses, then run as one fused batch.
+	// 0 or 1 disables batching: every request dispatches immediately by
+	// itself (the max_batch=1 baseline of the saturation experiment).
+	MaxBatch int
+	// BatchWait is the longest a batching window stays open waiting for
+	// more rows (default 2ms when MaxBatch > 1). It trades the first
+	// request's latency for batch occupancy; see docs/serving.md.
+	BatchWait time.Duration
+
 	// DefaultTimeout caps a request that sets no timeout_ms (default 2s);
 	// MaxTimeout clips client-requested timeouts (default 30s).
 	DefaultTimeout time.Duration
@@ -121,6 +133,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxBatch > 1 && c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Second

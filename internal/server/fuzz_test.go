@@ -1,0 +1,78 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeInferRequest hammers the /v1/infer body parser with arbitrary
+// bytes: malformed JSON, wrong field types, degenerate and overflowing
+// shapes, oversized batches, and non-finite payloads must all come back
+// as errors — never a panic — and any request the decoder accepts must
+// satisfy the documented bounds.
+func FuzzDecodeInferRequest(f *testing.F) {
+	seeds := []string{
+		`{"model":"lenet5"}`,
+		`{"model":"googlenet","mechanism":"mulayer","soc":"high","timeout_ms":500}`,
+		`{"model":"lenet5","batch":4}`,
+		`{"model":"lenet5","batch":-1}`,
+		`{"model":"lenet5","batch":1000000}`,
+		`{"model":"lenet5","shape":[1,2,2],"input":[0,1,2,3]}`,
+		`{"model":"lenet5","shape":[0],"input":[]}`,
+		`{"model":"lenet5","shape":[-1,-1],"input":[1]}`,
+		`{"model":"lenet5","shape":[1073741824,1073741824],"input":[]}`,
+		`{"model":"lenet5","shape":[1],"input":[1e999]}`,
+		`{"model":"lenet5","shape":[2],"input":[1]}`,
+		`{"model":"lenet5","input":[1,2,3]}`,
+		`{"model":"lenet5","shape":[1,1,1,1,1,1,1,1,1,1]}`,
+		`{"model":"lenet5","timeout_ms":-5}`,
+		`{"batch":"four"}`,
+		`{"shape":{"x":1}}`,
+		`{`,
+		``,
+		`null`,
+		`[]`,
+		`"model"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeInferRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Batch < 0 || req.Batch > maxClientRows {
+			t.Fatalf("accepted batch %d outside [0, %d]", req.Batch, maxClientRows)
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatalf("accepted negative timeout_ms %d", req.TimeoutMS)
+		}
+		if len(req.Input) > 0 && len(req.Shape) == 0 {
+			t.Fatalf("accepted %d input values without a shape", len(req.Input))
+		}
+		if len(req.Shape) > maxShapeDims {
+			t.Fatalf("accepted shape rank %d", len(req.Shape))
+		}
+		if len(req.Shape) > 0 {
+			elems := 1
+			for _, d := range req.Shape {
+				if d < 1 {
+					t.Fatalf("accepted non-positive dimension in %v", req.Shape)
+				}
+				elems *= d
+			}
+			if elems > maxInputElems {
+				t.Fatalf("accepted %d-element shape %v", elems, req.Shape)
+			}
+			if len(req.Input) != elems {
+				t.Fatalf("accepted input length %d against shape %v (%d elems)", len(req.Input), req.Shape, elems)
+			}
+			for i, v := range req.Input {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("accepted non-finite input[%d]", i)
+				}
+			}
+		}
+	})
+}

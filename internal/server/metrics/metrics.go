@@ -385,5 +385,15 @@ func LatencyBuckets() []float64 {
 	return out
 }
 
+// OccupancyBuckets is a power-of-two bucket layout for batch-occupancy
+// histograms (rows fused into one batched execution).
+func OccupancyBuckets() []float64 {
+	out := make([]float64, 0, 7)
+	for v := 1.0; v <= 64; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
 // DurationSeconds converts a time.Duration to seconds for Observe.
 func DurationSeconds(d time.Duration) float64 { return d.Seconds() }

@@ -18,15 +18,16 @@ type poolDevice struct {
 	class string // SoC class name ("high", "mid", ...)
 	rt    *core.Runtime
 
-	// queue carries admitted requests; its capacity equals the global
-	// queue bound, so sends under the scheduler mutex can never block.
-	queue chan *pending
+	// queue carries dispatched batches; its capacity equals the global
+	// request bound and every batch holds at least one request, so sends
+	// under the scheduler mutex can never block.
+	queue chan *batchGroup
 
-	// backlogNS is the predicted simulated latency of every admitted but
-	// unfinished request on this device — the makespan term the
-	// dispatcher minimizes.
+	// backlogNS is the predicted fused makespan of every dispatched but
+	// unfinished batch on this device — the makespan term the dispatcher
+	// minimizes.
 	backlogNS atomic.Int64
-	// depth is the number of admitted but unfinished requests.
+	// depth is the number of dispatched but unfinished requests.
 	depth atomic.Int64
 	// served counts completed (2xx) inferences.
 	served atomic.Int64
@@ -47,7 +48,7 @@ func buildPool(cfg Config) ([]*poolDevice, error) {
 				name:  fmt.Sprintf("%s-%d", spec.Name, w),
 				class: spec.Name,
 				rt:    rt,
-				queue: make(chan *pending, cfg.QueueDepth),
+				queue: make(chan *batchGroup, cfg.QueueDepth),
 			})
 		}
 	}

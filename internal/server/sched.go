@@ -25,43 +25,49 @@ var (
 	ErrNoDevice = errors.New("server: no matching device")
 )
 
-// pending is one admitted request waiting on (or occupying) a device.
+// pending is one admitted request: a member of a batching window, then of
+// a dispatched batch.
 type pending struct {
 	ctx       context.Context
 	model     *models.Model
 	modelName string
 	mech      core.Mechanism
-	cost      time.Duration // predicted simulated latency on the target device
+	rows      int // rows this request contributes to its batch (≥1)
 	enqueued  time.Time
 	done      chan outcome // buffered(1): the worker never blocks on it
 }
 
 // outcome is the terminal state of one admitted request.
 type outcome struct {
-	res       *exec.Result
 	err       error
 	device    string
 	class     string
 	queueWait time.Duration
+	// simLat is the simulated latency the request observed: the fused
+	// batch's makespan (a batch member finishes with its batch).
+	simLat time.Duration
+	// energyJ is the request's share of the batch energy, split by rows.
+	energyJ float64
+	// batchRows is the total row count of the batch that served the
+	// request.
+	batchRows int
 }
 
-type costKey struct {
-	class string
-	model string
-	mech  core.Mechanism
-}
-
-// Scheduler owns the device pool, the bounded admission queue, and the
-// predictor-guided dispatcher.
+// Scheduler owns the device pool, the bounded admission queue, the
+// batching windows, and the predictor-guided dispatcher.
 type Scheduler struct {
 	cfg     Config
 	devices []*poolDevice
-	mets    *schedMetrics
+	// caches holds one plan/makespan cache per SoC class: the partitioner
+	// and the cost-only makespan simulation run once per (model,
+	// mechanism, rows) key instead of once per request.
+	caches map[string]*core.PlanCache
+	mets   *schedMetrics
 
 	mu       sync.Mutex
 	queued   int // admitted but unfinished, across all devices
 	draining bool
-	costs    map[costKey]time.Duration
+	open     map[groupKey]*batchGroup
 
 	// hardCtx is canceled when a drain deadline expires: it aborts queued
 	// and in-flight work that graceful draining could not finish.
@@ -73,13 +79,16 @@ type Scheduler struct {
 
 // schedMetrics is the scheduler's slice of the metrics registry.
 type schedMetrics struct {
-	requests  *metrics.CounterVec   // model, soc, mechanism, code
-	rejected  *metrics.CounterVec   // reason
-	timeouts  *metrics.CounterVec   // stage: queued | running
-	queueWait *metrics.HistogramVec // soc
-	simLat    *metrics.HistogramVec // model, soc, mechanism
-	wallLat   *metrics.HistogramVec // model, soc
-	inflight  *metrics.GaugeVec     // device
+	requests   *metrics.CounterVec   // model, soc, mechanism, code
+	rejected   *metrics.CounterVec   // reason
+	timeouts   *metrics.CounterVec   // stage: queued | running
+	batches    *metrics.CounterVec   // soc
+	queueWait  *metrics.HistogramVec // soc
+	windowWait *metrics.HistogramVec // model
+	occupancy  *metrics.HistogramVec // model, soc
+	simLat     *metrics.HistogramVec // model, soc, mechanism
+	wallLat    *metrics.HistogramVec // model, soc
+	inflight   *metrics.GaugeVec     // device
 }
 
 func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
@@ -90,8 +99,14 @@ func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
 			"Requests refused at admission.", "reason"),
 		timeouts: metrics.NewCounterVec(reg, "mulayer_timeouts_total",
 			"Requests whose deadline expired, by stage.", "stage"),
+		batches: metrics.NewCounterVec(reg, "mulayer_batches_total",
+			"Fused batch executions dispatched, by device class.", "soc"),
 		queueWait: metrics.NewHistogramVec(reg, "mulayer_queue_wait_seconds",
 			"Wall time from admission to dispatch.", metrics.LatencyBuckets(), "soc"),
+		windowWait: metrics.NewHistogramVec(reg, "mulayer_batch_window_wait_seconds",
+			"Wall time a batching window stayed open before dispatch.", metrics.LatencyBuckets(), "model"),
+		occupancy: metrics.NewHistogramVec(reg, "mulayer_batch_occupancy",
+			"Rows fused into one batched execution.", metrics.OccupancyBuckets(), "model", "soc"),
 		simLat: metrics.NewHistogramVec(reg, "mulayer_inference_latency_seconds",
 			"Simulated on-device inference latency.", metrics.LatencyBuckets(), "model", "soc", "mechanism"),
 		wallLat: metrics.NewHistogramVec(reg, "mulayer_wall_seconds",
@@ -112,12 +127,19 @@ func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	caches := make(map[string]*core.PlanCache)
+	for _, d := range devices {
+		if _, ok := caches[d.class]; !ok {
+			caches[d.class] = core.NewPlanCache(d.rt)
+		}
+	}
 	hardCtx, hardKill := context.WithCancel(context.Background())
 	s := &Scheduler{
 		cfg:      cfg,
 		devices:  devices,
+		caches:   caches,
 		mets:     newSchedMetrics(reg),
-		costs:    make(map[costKey]time.Duration),
+		open:     make(map[groupKey]*batchGroup),
 		hardCtx:  hardCtx,
 		hardKill: hardKill,
 	}
@@ -126,6 +148,14 @@ func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			return float64(s.queued)
+		})
+	metrics.NewGaugeFunc(reg, "mulayer_plan_cache_hits_total",
+		"Plan/makespan cache hits across all device classes.", func() float64 {
+			return float64(s.cacheStats().Hits)
+		})
+	metrics.NewGaugeFunc(reg, "mulayer_plan_cache_misses_total",
+		"Plan/makespan cache misses across all device classes.", func() float64 {
+			return float64(s.cacheStats().Misses)
 		})
 	for _, d := range devices {
 		s.wg.Add(1)
@@ -151,44 +181,59 @@ func (s *Scheduler) Draining() bool {
 	return s.draining
 }
 
-// estimate returns the predicted simulated latency of (model, mech) on a
-// device class, planning once and caching.
-func (s *Scheduler) estimate(d *poolDevice, m *models.Model, modelName string, mech core.Mechanism) (time.Duration, error) {
-	key := costKey{class: d.class, model: modelName, mech: mech}
-	s.mu.Lock()
-	c, ok := s.costs[key]
-	s.mu.Unlock()
-	if ok {
-		return c, nil
+// CacheStats aggregates the per-class plan caches (for /statusz).
+func (s *Scheduler) CacheStats() core.PlanCacheStats { return s.cacheStats() }
+
+func (s *Scheduler) cacheStats() core.PlanCacheStats {
+	var total core.PlanCacheStats
+	for _, c := range s.caches {
+		st := c.Stats()
+		total.Plans += st.Plans
+		total.Makespans += st.Makespans
+		total.Hits += st.Hits
+		total.Misses += st.Misses
 	}
-	plan, err := d.rt.Plan(m, core.RunConfig{Mechanism: mech})
-	if err != nil {
-		return 0, err
-	}
-	c = plan.Predicted
-	if c <= 0 {
-		c = time.Microsecond
-	}
-	s.mu.Lock()
-	s.costs[key] = c
-	s.mu.Unlock()
-	return c, nil
+	return total
 }
 
 // RetryAfter estimates how long a rejected client should back off: the
-// minimum predicted completion time across devices, converted to wall
-// seconds by the pacing time scale and clamped to [1s, 30s].
+// predicted drain time of the least-loaded device's committed backlog,
+// plus the fused cost of every still-open batching window and the window
+// time left before the last of them seals — converted to wall seconds by
+// the pacing time scale and clamped to [1s, 30s].
 func (s *Scheduler) RetryAfter() int {
-	min := time.Duration(math.MaxInt64)
+	minBacklog := time.Duration(math.MaxInt64)
 	for _, d := range s.devices {
-		if b := d.predictedCompletion(); b < min {
-			min = b
+		if b := d.predictedCompletion(); b < minBacklog {
+			minBacklog = b
 		}
 	}
-	secs := min.Seconds()
+	var openCost, windowRem time.Duration
+	s.mu.Lock()
+	for _, g := range s.open {
+		var cheapest time.Duration
+		for class, c := range s.caches {
+			if g.key.soc != "" && class != g.key.soc {
+				continue
+			}
+			if est, err := c.Estimate(g.model, runCfg(g.key.mech), g.rows); err == nil {
+				if cheapest == 0 || est < cheapest {
+					cheapest = est
+				}
+			}
+		}
+		openCost += cheapest
+		if rem := s.cfg.BatchWait - time.Since(g.opened); rem > windowRem {
+			windowRem = rem
+		}
+	}
+	s.mu.Unlock()
+
+	secs := (minBacklog + openCost).Seconds()
 	if s.cfg.TimeScale > 0 {
 		secs /= s.cfg.TimeScale
 	}
+	secs += windowRem.Seconds() // window time runs on the wall clock
 	n := int(math.Ceil(secs))
 	if n < 1 {
 		n = 1
@@ -199,30 +244,35 @@ func (s *Scheduler) RetryAfter() int {
 	return n
 }
 
-// Submit admits, dispatches, and waits out one request. socClass may be
-// empty (any device) or name a configured class. The returned outcome's
-// err distinguishes admission rejections (ErrQueueFull, ErrDraining,
-// ErrNoDevice), deadline expiry (the context error), and planner errors.
-func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string) outcome {
-	// Estimate the request's cost on every eligible class before taking
-	// the admission decision: dispatch needs per-class costs to compare
-	// predicted completion times.
-	type candidate struct {
-		d    *poolDevice
-		cost time.Duration
+// Submit admits one request into its batching window and waits out its
+// outcome. socClass may be empty (any device) or name a configured class;
+// rows is the number of input rows the request contributes (≥1). The
+// returned outcome's err distinguishes admission rejections (ErrQueueFull,
+// ErrDraining, ErrNoDevice), deadline expiry (the context error), and
+// planner errors.
+func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string, rows int) outcome {
+	if rows < 1 {
+		rows = 1
 	}
-	var cands []candidate
+	// Warm the single-row estimate on every eligible class before the
+	// admission decision: it validates the class constraint and surfaces
+	// planner errors now, and dispatch-time estimates then hit the cache.
+	warmed := map[string]bool{}
+	eligible := false
 	for _, d := range s.devices {
 		if socClass != "" && d.class != socClass {
 			continue
 		}
-		cost, err := s.estimate(d, m, modelName, mech)
-		if err != nil {
+		eligible = true
+		if warmed[d.class] {
+			continue
+		}
+		warmed[d.class] = true
+		if _, err := s.caches[d.class].Estimate(m, runCfg(mech), 1); err != nil {
 			return outcome{err: err}
 		}
-		cands = append(cands, candidate{d: d, cost: cost})
 	}
-	if len(cands) == 0 {
+	if !eligible {
 		return outcome{err: fmt.Errorf("%w: soc class %q", ErrNoDevice, socClass)}
 	}
 
@@ -231,6 +281,7 @@ func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Mode
 		model:     m,
 		modelName: modelName,
 		mech:      mech,
+		rows:      rows,
 		enqueued:  time.Now(),
 		done:      make(chan outcome, 1),
 	}
@@ -246,98 +297,130 @@ func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Mode
 		s.mets.rejected.With("queue_full").Inc()
 		return outcome{err: ErrQueueFull}
 	}
-	// Makespan-style dispatch: minimum predicted completion time =
-	// device backlog + this request's predicted cost on that device.
-	best := cands[0]
-	bestDone := best.d.predictedCompletion() + best.cost
-	for _, c := range cands[1:] {
-		if done := c.d.predictedCompletion() + c.cost; done < bestDone {
-			best, bestDone = c, done
-		}
-	}
-	p.cost = best.cost
 	s.queued++
-	best.d.backlogNS.Add(int64(best.cost))
-	best.d.depth.Add(1)
-	// The queue's capacity equals the global bound, so this send cannot
-	// block; holding the mutex across it keeps Drain's close safe.
-	best.d.queue <- p
+	s.enqueueLocked(p, socClass)
 	s.mu.Unlock()
 
 	select {
 	case out := <-p.done:
 		return out
 	case <-ctx.Done():
-		// The worker will observe the dead context when it reaches the
-		// request (or mid-run) and settle the accounting; the client gets
-		// the timeout now.
-		return outcome{err: ctx.Err(), device: best.d.name, class: best.d.class}
+		// The worker will observe the dead member when it reaches the
+		// batch (or at the end of the fused run) and settle the
+		// accounting; the client gets the timeout now.
+		return outcome{err: ctx.Err()}
 	}
 }
 
-// worker drains one device's queue sequentially.
+// worker drains one device's queue of dispatched batches sequentially.
 func (s *Scheduler) worker(d *poolDevice) {
 	defer s.wg.Done()
-	for p := range d.queue {
-		s.serve(d, p)
+	for g := range d.queue {
+		s.serveBatch(d, g)
 	}
 }
 
-// serve runs one admitted request on its device and settles accounting.
-func (s *Scheduler) serve(d *poolDevice, p *pending) {
-	wait := time.Since(p.enqueued)
-	s.mets.queueWait.With(d.class).Observe(wait.Seconds())
-
-	out := outcome{device: d.name, class: d.class, queueWait: wait}
-	switch {
-	case s.hardCtx.Err() != nil:
-		out.err = ErrDraining
-	case p.ctx.Err() != nil:
-		// Expired while queued: never touched the device.
-		out.err = p.ctx.Err()
-		s.mets.timeouts.With("queued").Inc()
-	default:
-		out.res, out.err = s.runPaced(d, p)
+// serveBatch runs one dispatched batch on its device and settles every
+// member: already-dead members are dropped before the run (their rows
+// never touch the device), members whose deadline dies mid-batch get
+// their context error, and the rest share the fused execution's report.
+func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
+	outs := make([]outcome, len(g.items))
+	for i, p := range g.items {
+		wait := time.Since(p.enqueued)
+		s.mets.queueWait.With(d.class).Observe(wait.Seconds())
+		outs[i] = outcome{device: d.name, class: d.class, queueWait: wait}
 	}
 
-	d.backlogNS.Add(-int64(p.cost))
-	d.depth.Add(-1)
+	var live []int // indices into g.items joining the fused run
+	for i, p := range g.items {
+		switch {
+		case s.hardCtx.Err() != nil:
+			outs[i].err = ErrDraining
+		case p.ctx.Err() != nil:
+			// Expired while queued: never touched the device.
+			outs[i].err = p.ctx.Err()
+			s.mets.timeouts.With("queued").Inc()
+		default:
+			live = append(live, i)
+		}
+	}
+
+	if len(live) > 0 {
+		fused := make([]exec.FusedItem, len(live))
+		for j, i := range live {
+			fused[j] = exec.FusedItem{Ctx: g.items[i].ctx, Rows: g.items[i].rows}
+		}
+		res, err := s.runBatchPaced(d, g, fused)
+		switch {
+		case err != nil:
+			for _, i := range live {
+				outs[i].err = err
+			}
+		default:
+			// res.Rows is what actually ran: members that died while
+			// queued never contributed rows to the fused panels.
+			for _, i := range live {
+				outs[i].batchRows = res.Rows
+			}
+			s.mets.batches.With(d.class).Inc()
+			s.mets.occupancy.With(g.key.model, d.class).Observe(float64(res.Rows))
+			for j, i := range live {
+				p := g.items[i]
+				ir := res.Items[j]
+				switch {
+				case ir.Err != nil:
+					outs[i].err = ir.Err
+					s.mets.timeouts.With("running").Inc()
+				case p.ctx.Err() != nil:
+					// The deadline died during pacing: the batch kept the
+					// device (batchmates' results stand) but this member's
+					// client is gone.
+					outs[i].err = p.ctx.Err()
+					s.mets.timeouts.With("running").Inc()
+				default:
+					outs[i].simLat = ir.Latency
+					outs[i].energyJ = res.Report.TotalJ() * float64(p.rows) / float64(res.Rows)
+				}
+			}
+		}
+	}
+
+	d.backlogNS.Add(-int64(g.cost))
+	d.depth.Add(-int64(len(g.items)))
 	s.mu.Lock()
-	s.queued--
+	s.queued -= len(g.items)
 	s.mu.Unlock()
 
-	code := statusFor(out.err)
-	s.mets.requests.With(p.modelName, d.class, p.mech.String(), fmt.Sprint(code)).Inc()
-	if out.err == nil {
-		d.served.Add(1)
-		s.mets.simLat.With(p.modelName, d.class, p.mech.String()).Observe(out.res.Report.Latency.Seconds())
-		s.mets.wallLat.With(p.modelName, d.class).Observe(time.Since(p.enqueued).Seconds())
+	for i, p := range g.items {
+		out := outs[i]
+		code := statusFor(out.err)
+		s.mets.requests.With(p.modelName, d.class, p.mech.String(), fmt.Sprint(code)).Inc()
+		if out.err == nil {
+			d.served.Add(1)
+			s.mets.simLat.With(p.modelName, d.class, p.mech.String()).Observe(out.simLat.Seconds())
+			s.mets.wallLat.With(p.modelName, d.class).Observe(time.Since(p.enqueued).Seconds())
+		}
+		p.done <- out
 	}
-	p.done <- out
 }
 
-// runPaced executes the inference and, when pacing is enabled, occupies
-// the device for the simulated latency scaled by TimeScale — so offered
-// load saturates the pool the way it would saturate the modeled hardware.
-func (s *Scheduler) runPaced(d *poolDevice, p *pending) (*exec.Result, error) {
-	runCtx, cancel := context.WithCancel(p.ctx)
-	defer cancel()
-	stop := context.AfterFunc(s.hardCtx, cancel)
-	defer stop()
-
+// runBatchPaced executes the fused batch and, when pacing is enabled,
+// occupies the device for the batch's simulated makespan scaled by
+// TimeScale — so offered load saturates the pool the way it would
+// saturate the modeled hardware. Per-member deadlines ride inside the
+// fused run; only a drain hard-kill aborts the batch as a whole.
+func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.FusedItem) (*exec.FusedResult, error) {
 	s.mets.inflight.With(d.name).Add(1)
 	defer s.mets.inflight.With(d.name).Add(-1)
 
-	start := time.Now()
-	res, err := d.rt.RunContext(runCtx, p.model, nil, core.RunConfig{Mechanism: p.mech})
+	plan, err := s.caches[d.class].Plan(g.model, runCfg(g.key.mech))
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			if s.hardCtx.Err() != nil {
-				return nil, ErrDraining
-			}
-			s.mets.timeouts.With("running").Inc()
-			return nil, p.ctx.Err()
-		}
+		return nil, err
+	}
+	start := time.Now()
+	res, err := d.rt.RunBatchPlan(g.model, plan, fused, runCfg(g.key.mech))
+	if err != nil {
 		return nil, err
 	}
 	if s.cfg.TimeScale > 0 {
@@ -347,25 +430,29 @@ func (s *Scheduler) runPaced(d *poolDevice, p *pending) (*exec.Result, error) {
 			defer t.Stop()
 			select {
 			case <-t.C:
-			case <-runCtx.Done():
-				if s.hardCtx.Err() != nil {
-					return nil, ErrDraining
-				}
-				s.mets.timeouts.With("running").Inc()
-				return nil, p.ctx.Err()
+			case <-s.hardCtx.Done():
+				return nil, ErrDraining
 			}
 		}
 	}
 	return res, nil
 }
 
-// Drain stops admitting, lets the pool finish queued and in-flight work,
-// and waits for the workers to exit. When ctx expires first, remaining
-// work is canceled and ctx's error returned.
+// Drain stops admitting, seals every open batching window, lets the pool
+// finish queued and in-flight work, and waits for the workers to exit.
+// When ctx expires first, remaining work is canceled and ctx's error
+// returned.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+		groups := make([]*batchGroup, 0, len(s.open))
+		for _, g := range s.open {
+			groups = append(groups, g)
+		}
+		for _, g := range groups {
+			s.dispatchLocked(g)
+		}
 		for _, d := range s.devices {
 			close(d.queue)
 		}

@@ -52,12 +52,15 @@ func TestSubmitBasic(t *testing.T) {
 		SoCs:       []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 2}},
 		QueueDepth: 8,
 	})
-	out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "")
+	out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "", 1)
 	if out.err != nil {
 		t.Fatal(out.err)
 	}
-	if out.res == nil || out.res.Report.Latency <= 0 {
-		t.Fatal("missing result")
+	if out.simLat <= 0 || out.energyJ <= 0 {
+		t.Fatalf("degenerate result %+v", out)
+	}
+	if out.batchRows != 1 {
+		t.Fatalf("batch rows %d with batching off, want 1", out.batchRows)
 	}
 	if out.class != "high" {
 		t.Fatalf("class %q", out.class)
@@ -79,7 +82,7 @@ func TestDispatchPrefersFasterSoC(t *testing.T) {
 		QueueDepth: 8,
 	})
 	for i := 0; i < 3; i++ {
-		out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "")
+		out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "", 1)
 		if out.err != nil {
 			t.Fatal(out.err)
 		}
@@ -97,14 +100,14 @@ func TestSoCClassPinningAndNoDevice(t *testing.T) {
 		},
 		QueueDepth: 8,
 	})
-	out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "mid")
+	out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "mid", 1)
 	if out.err != nil {
 		t.Fatal(out.err)
 	}
 	if out.class != "mid" {
 		t.Fatalf("pinned to mid, ran on %q", out.class)
 	}
-	out = s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "tpu")
+	out = s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "tpu", 1)
 	if !errors.Is(out.err, ErrNoDevice) {
 		t.Fatalf("unknown class: got %v, want ErrNoDevice", out.err)
 	}
@@ -120,7 +123,7 @@ func TestQueueFull(t *testing.T) {
 	})
 	first := make(chan outcome, 1)
 	go func() {
-		first <- s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "")
+		first <- s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "", 1)
 	}()
 	// Wait until the first request is admitted.
 	deadline := time.Now().Add(2 * time.Second)
@@ -130,7 +133,7 @@ func TestQueueFull(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "")
+	out := s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "", 1)
 	if !errors.Is(out.err, ErrQueueFull) {
 		t.Fatalf("got %v, want ErrQueueFull", out.err)
 	}
@@ -152,7 +155,7 @@ func TestQueuedRequestDeadline(t *testing.T) {
 	})
 	first := make(chan outcome, 1)
 	go func() {
-		first <- s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "")
+		first <- s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "", 1)
 	}()
 	deadline := time.Now().Add(2 * time.Second)
 	for s.QueueDepth() == 0 {
@@ -163,7 +166,7 @@ func TestQueuedRequestDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	out := s.Submit(ctx, "lenet5", s.cfg.Models["lenet5"], core.MechMuLayer, "")
+	out := s.Submit(ctx, "lenet5", s.cfg.Models["lenet5"], core.MechMuLayer, "", 1)
 	if !errors.Is(out.err, context.DeadlineExceeded) {
 		t.Fatalf("got %v, want DeadlineExceeded", out.err)
 	}
@@ -188,7 +191,7 @@ func TestMakespanSpreadsLoad(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outs[i] = s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "")
+			outs[i] = s.Submit(context.Background(), "googlenet", s.cfg.Models["googlenet"], core.MechMuLayer, "", 1)
 		}(i)
 	}
 	wg.Wait()
@@ -214,7 +217,7 @@ func TestDrainRejectsAndCompletes(t *testing.T) {
 		SoCs:       []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
 		QueueDepth: 8,
 	})
-	out := s.Submit(context.Background(), "lenet5", s.cfg.Models["lenet5"], core.MechMuLayer, "")
+	out := s.Submit(context.Background(), "lenet5", s.cfg.Models["lenet5"], core.MechMuLayer, "", 1)
 	if out.err != nil {
 		t.Fatal(out.err)
 	}
@@ -223,7 +226,7 @@ func TestDrainRejectsAndCompletes(t *testing.T) {
 	if err := s.Drain(ctx); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	out = s.Submit(context.Background(), "lenet5", s.cfg.Models["lenet5"], core.MechMuLayer, "")
+	out = s.Submit(context.Background(), "lenet5", s.cfg.Models["lenet5"], core.MechMuLayer, "", 1)
 	if !errors.Is(out.err, ErrDraining) {
 		t.Fatalf("post-drain submit: got %v, want ErrDraining", out.err)
 	}
@@ -233,7 +236,7 @@ func TestDrainRejectsAndCompletes(t *testing.T) {
 	}
 }
 
-func TestEstimateCacheIsPerClass(t *testing.T) {
+func TestPlanCacheIsPerClass(t *testing.T) {
 	s := newSched(t, Config{
 		SoCs: []SoCSpec{
 			{Name: "high", SoC: soc.Exynos7420, Workers: 1},
@@ -242,18 +245,32 @@ func TestEstimateCacheIsPerClass(t *testing.T) {
 		QueueDepth: 8,
 	})
 	m := s.cfg.Models["googlenet"]
+	rc := runCfg(core.MechMuLayer)
 	var costs []time.Duration
-	for _, d := range s.Devices() {
-		c, err := s.estimate(d, m, "googlenet", core.MechMuLayer)
+	for _, class := range []string{"high", "mid"} {
+		c, err := s.caches[class].Estimate(m, rc, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		costs = append(costs, c)
 	}
 	if costs[0] == costs[1] {
-		t.Fatalf("high and mid predicted costs identical (%v); cache key must include the class", costs[0])
+		t.Fatalf("high and mid predicted costs identical (%v); each class needs its own cache", costs[0])
 	}
-	if len(s.costs) != 2 {
-		t.Fatalf("cache has %d entries, want 2", len(s.costs))
+	// A second estimate for the same key must hit the memo, and a new row
+	// count must reuse the cached plan (one plan, two makespans).
+	before := s.caches["high"].Stats()
+	if _, err := s.caches["high"].Estimate(m, rc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.caches["high"].Estimate(m, rc, 4); err != nil {
+		t.Fatal(err)
+	}
+	after := s.caches["high"].Stats()
+	if after.Hits <= before.Hits {
+		t.Fatalf("repeated estimate did not hit the cache: %+v -> %+v", before, after)
+	}
+	if after.Plans != 1 || after.Makespans != 2 {
+		t.Fatalf("want 1 plan with 2 memoized makespans, got %+v", after)
 	}
 }

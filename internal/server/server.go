@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -102,14 +104,86 @@ type InferRequest struct {
 	SoC string `json:"soc,omitempty"`
 	// TimeoutMS overrides the server's default request deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Batch is the number of input rows this request contributes to its
+	// fused micro-batch (default 1, max 64).
+	Batch int `json:"batch,omitempty"`
+	// Shape and Input optionally carry one input row for validation:
+	// Shape's element product must match the model's input and Input must
+	// hold exactly that many finite values. The serving pool simulates
+	// cost only, so the values themselves do not influence the reply.
+	Shape []int     `json:"shape,omitempty"`
+	Input []float32 `json:"input,omitempty"`
+}
+
+// Request validation bounds (shared with FuzzDecodeInferRequest).
+const (
+	// maxClientRows caps InferRequest.Batch.
+	maxClientRows = 64
+	// maxInputElems caps the element product of InferRequest.Shape.
+	maxInputElems = 1 << 20
+	// maxShapeDims caps the rank of InferRequest.Shape.
+	maxShapeDims = 8
+	// maxBodyBytes bounds the request body read off the wire.
+	maxBodyBytes = 16 << 20
+)
+
+// decodeInferRequest parses and validates one /v1/infer body. Every
+// malformed input — bad JSON, wrong field types, negative or oversized
+// batches, degenerate or overflowing shapes, non-finite payload values,
+// shape/payload length mismatches — returns an error, never a panic (the
+// FuzzDecodeInferRequest target holds it to that).
+func decodeInferRequest(body []byte) (InferRequest, error) {
+	var req InferRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad JSON: %w", err)
+	}
+	if req.TimeoutMS < 0 {
+		return req, fmt.Errorf("timeout_ms %d is negative", req.TimeoutMS)
+	}
+	if req.Batch < 0 {
+		return req, fmt.Errorf("batch %d is negative", req.Batch)
+	}
+	if req.Batch > maxClientRows {
+		return req, fmt.Errorf("batch %d exceeds the per-request limit %d", req.Batch, maxClientRows)
+	}
+	if len(req.Shape) == 0 && len(req.Input) > 0 {
+		return req, fmt.Errorf("input payload of %d values has no shape", len(req.Input))
+	}
+	if len(req.Shape) > 0 {
+		if len(req.Shape) > maxShapeDims {
+			return req, fmt.Errorf("shape rank %d exceeds %d", len(req.Shape), maxShapeDims)
+		}
+		elems := 1
+		for _, d := range req.Shape {
+			if d < 1 {
+				return req, fmt.Errorf("shape %v has a non-positive dimension", req.Shape)
+			}
+			if d > maxInputElems/elems {
+				return req, fmt.Errorf("shape %v overflows the %d-element limit", req.Shape, maxInputElems)
+			}
+			elems *= d
+		}
+		if len(req.Input) != elems {
+			return req, fmt.Errorf("input holds %d values, shape %v wants %d", len(req.Input), req.Shape, elems)
+		}
+		for i, v := range req.Input {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return req, fmt.Errorf("input[%d] is not finite", i)
+			}
+		}
+	}
+	return req, nil
 }
 
 // InferResponse is the body of a 200 reply.
 type InferResponse struct {
-	Model       string  `json:"model"`
-	Mechanism   string  `json:"mechanism"`
-	SoC         string  `json:"soc"`
-	Device      string  `json:"device"`
+	Model     string `json:"model"`
+	Mechanism string `json:"mechanism"`
+	SoC       string `json:"soc"`
+	Device    string `json:"device"`
+	// BatchRows is the total row count of the fused batch that served the
+	// request (1 when batching is off or no batchmates arrived in time).
+	BatchRows   int     `json:"batch_rows"`
 	LatencyUS   float64 `json:"latency_us"`
 	EnergyMJ    float64 `json:"energy_mj"`
 	QueueWaitUS float64 `json:"queue_wait_us"`
@@ -128,15 +202,31 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	var req InferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
+		return
+	}
+	req, err := decodeInferRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	m, ok := s.cfg.Models[req.Model]
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q", req.Model)})
 		return
+	}
+	if len(req.Shape) > 0 {
+		elems := 1
+		for _, d := range req.Shape {
+			elems *= d
+		}
+		if want := m.InputShape.Elems(); elems != want {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("shape %v carries %d elements, model %q wants %d", req.Shape, elems, req.Model, want)})
+			return
+		}
 	}
 	mechName := req.Mechanism
 	if mechName == "" {
@@ -146,6 +236,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown mechanism %q", mechName)})
 		return
+	}
+	rows := req.Batch
+	if rows < 1 {
+		rows = 1
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -159,7 +253,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	wallStart := time.Now()
-	out := s.sched.Submit(ctx, req.Model, m, mech, req.SoC)
+	out := s.sched.Submit(ctx, req.Model, m, mech, req.SoC, rows)
 	code := statusFor(out.err)
 	if out.err != nil {
 		if code == http.StatusServiceUnavailable {
@@ -173,8 +267,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Mechanism:   mechName,
 		SoC:         out.class,
 		Device:      out.device,
-		LatencyUS:   float64(out.res.Report.Latency) / float64(time.Microsecond),
-		EnergyMJ:    out.res.Report.TotalJ() * 1e3,
+		BatchRows:   out.batchRows,
+		LatencyUS:   float64(out.simLat) / float64(time.Microsecond),
+		EnergyMJ:    out.energyJ * 1e3,
 		QueueWaitUS: float64(out.queueWait) / float64(time.Microsecond),
 		WallUS:      float64(time.Since(wallStart)) / float64(time.Microsecond),
 	})
@@ -239,18 +334,24 @@ type deviceStatus struct {
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	devs := s.sched.Devices()
 	out := struct {
-		UptimeS    float64        `json:"uptime_s"`
-		QueueDepth int            `json:"queue_depth"`
-		QueueCap   int            `json:"queue_cap"`
-		Draining   bool           `json:"draining"`
-		TimeScale  float64        `json:"time_scale"`
-		Devices    []deviceStatus `json:"devices"`
+		UptimeS     float64             `json:"uptime_s"`
+		QueueDepth  int                 `json:"queue_depth"`
+		QueueCap    int                 `json:"queue_cap"`
+		Draining    bool                `json:"draining"`
+		TimeScale   float64             `json:"time_scale"`
+		MaxBatch    int                 `json:"max_batch"`
+		BatchWaitMS float64             `json:"batch_wait_ms"`
+		PlanCache   core.PlanCacheStats `json:"plan_cache"`
+		Devices     []deviceStatus      `json:"devices"`
 	}{
-		UptimeS:    time.Since(s.start).Seconds(),
-		QueueDepth: s.sched.QueueDepth(),
-		QueueCap:   s.cfg.QueueDepth,
-		Draining:   s.sched.Draining(),
-		TimeScale:  s.cfg.TimeScale,
+		UptimeS:     time.Since(s.start).Seconds(),
+		QueueDepth:  s.sched.QueueDepth(),
+		QueueCap:    s.cfg.QueueDepth,
+		Draining:    s.sched.Draining(),
+		TimeScale:   s.cfg.TimeScale,
+		MaxBatch:    s.cfg.MaxBatch,
+		BatchWaitMS: float64(s.cfg.BatchWait) / float64(time.Millisecond),
+		PlanCache:   s.sched.CacheStats(),
 	}
 	for _, d := range devs {
 		out.Devices = append(out.Devices, deviceStatus{
