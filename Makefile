@@ -1,9 +1,10 @@
 # Tier-1 verification for the μLayer reproduction.
 #
-#   make ci          build + vet + race tests + coverage gate + fuzz smoke
+#   make ci          build + vet + race tests + coverage gate + chaos + fuzz smoke
 #   make test        fast test run (no race detector)
 #   make race        race-enabled test run
 #   make cover       coverage gate for the serving subsystem
+#   make chaos-smoke seeded fault-injection run under the race detector
 #   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
 #   make serve       run the inference server on :8080
 #   make load        drive a running server at 50 qps for 10s
@@ -16,9 +17,9 @@ FUZZTIME ?= 10s
 # (measured 82.5% when the gate was introduced).
 COVER_FLOOR ?= 75
 
-.PHONY: ci build vet test race cover fuzz-smoke serve load
+.PHONY: ci build vet test race cover chaos-smoke fuzz-smoke serve load
 
-ci: build vet race cover fuzz-smoke
+ci: build vet race cover chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,12 @@ cover:
 		if (p + 0 < f + 0) { printf "cover: %.1f%% is below the %s%% floor\n", p, f; exit 1 } \
 		printf "cover: %.1f%% (floor %s%%)\n", p, f }'
 
+# Seeded chaos run: 160 requests against a faulty four-device pool under
+# the race detector. Fails on any escaped panic, untyped error, stranded
+# queue entry, or leaked goroutine.
+chaos-smoke:
+	$(GO) test ./internal/server -race -count=1 -run='^TestChaosSeededFaults$$' -v
+
 # Go only accepts one -fuzz pattern per invocation, so smoke each target
 # separately; -run=^$ skips the regular tests on each pass.
 fuzz-smoke:
@@ -50,6 +57,7 @@ fuzz-smoke:
 	$(GO) test ./internal/f16 -run='^$$' -fuzz='^FuzzFromFloat32$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/f16 -run='^$$' -fuzz='^FuzzArithmetic$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeInferRequest$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/faults -run='^$$' -fuzz='^FuzzFaultConfig$$' -fuzztime=$(FUZZTIME)
 
 serve:
 	$(GO) run ./cmd/mulayer-serve

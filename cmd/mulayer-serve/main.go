@@ -9,13 +9,16 @@
 //	mulayer-serve -addr :9000 -socs high=4,mid=2
 //	mulayer-serve -queue 64 -timeout 500ms -timescale 1
 //	mulayer-serve -max-batch 8 -batch-wait 2ms     # dynamic micro-batching
+//	mulayer-serve -faults 'fail=0.1,seed=42'       # chaos: 10% kernel failures
+//	mulayer-serve -faults 'high:die=0.01,proc=gpu' # kill high-end GPUs slowly
 //
 // Endpoints:
 //
 //	POST /v1/infer    {"model":"googlenet","mechanism":"mulayer","soc":"high","timeout_ms":500}
 //	GET  /v1/models   loaded models, mechanisms, SoC classes
-//	GET  /healthz     ok | draining
-//	GET  /statusz     queue/backlog/served per device (JSON)
+//	GET  /healthz     liveness (always ok while the process runs)
+//	GET  /readyz      readiness: 503 while draining or all devices dead; per-device health
+//	GET  /statusz     queue/backlog/served/health per device (JSON)
 //	GET  /metrics     Prometheus text format
 //
 // With -timescale T each device stays busy for simulatedLatency/T of wall
@@ -26,6 +29,17 @@
 // arrive within -batch-wait of each other into one fused batched
 // execution (up to N rows), which amortizes kernel launches and weight
 // reads; -max-batch 1 serves every request individually.
+//
+// With -faults the scheduler injects deterministic, seeded faults into the
+// simulated devices (kernel failures, stalls, permanent processor deaths,
+// panics) and the fault-tolerance layer — failover with retries, device
+// quarantine with half-open probes, degraded replanning around dead
+// processors — handles them; see docs/serving.md. The spec is
+// semicolon-separated per-class blocks of k=v pairs
+// ("[class:]fail=0.1,stall=0.05,stallx=10,die=0.01,panic=0.01,seed=42,
+// proc=gpu,max=100"); a block without a class applies to every class.
+// -fail-threshold, -quarantine-backoff, and -max-retries tune the circuit
+// breaker.
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"mulayer/internal/faults"
 	"mulayer/internal/server"
 	"mulayer/internal/soc"
 )
@@ -88,23 +103,35 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "max rows fused into one batched execution (1 = no batching)")
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "how long an open batch window waits for more same-model requests")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+	faultSpec := flag.String("faults", "", "fault injection spec: [class:]fail=R,stall=R,stallx=F,die=R,panic=R,seed=N,proc=cpu|gpu|npu,max=N blocks joined by ';' (empty = off)")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive device failures before quarantine")
+	quarBackoff := flag.Duration("quarantine-backoff", 2*time.Second, "first quarantine duration (doubles per re-quarantine, capped at 30s)")
+	maxRetries := flag.Int("max-retries", 2, "failover retries per request after a device failure (negative = none)")
 	flag.Parse()
 
 	specs, err := parseSoCs(*socs, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	faultCfgs, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv, err := server.New(server.Config{
-		Addr:           *addr,
-		SoCs:           specs,
-		DefaultWorkers: *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		TimeScale:      *timescale,
-		MaxBatch:       *maxBatch,
-		BatchWait:      *batchWait,
-		DrainTimeout:   *drain,
+		Addr:              *addr,
+		SoCs:              specs,
+		DefaultWorkers:    *workers,
+		QueueDepth:        *queue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		TimeScale:         *timescale,
+		MaxBatch:          *maxBatch,
+		BatchWait:         *batchWait,
+		DrainTimeout:      *drain,
+		Faults:            faultCfgs,
+		FailThreshold:     *failThreshold,
+		QuarantineBackoff: *quarBackoff,
+		MaxRetries:        *maxRetries,
 	})
 	if err != nil {
 		log.Fatal(err)

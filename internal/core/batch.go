@@ -23,11 +23,26 @@ func (rt *Runtime) RunBatch(m *models.Model, items []exec.FusedItem, rc RunConfi
 	return rt.RunBatchPlan(m, plan, items, rc)
 }
 
+// ExecOpts carries per-execution hooks that must not influence planning —
+// they live outside RunConfig so plan-cache keys (which embed RunConfig)
+// stay comparable and hook-free.
+type ExecOpts struct {
+	// Faults, when non-nil, is consulted before every scheduled kernel; see
+	// exec.Config.FaultHook. The serving layer installs a fault injector
+	// here; cost estimation always runs with a nil hook.
+	Faults exec.FaultHook
+}
+
 // RunBatchPlan is RunBatch under a previously built plan — the serving
 // path, where the plan comes from a PlanCache instead of a per-request
 // partitioner run. The plan must cover m's graph and match rc's pipeline
 // (use PlanCache.Plan or Runtime.Plan with the same RunConfig).
 func (rt *Runtime) RunBatchPlan(m *models.Model, plan *partition.Plan, items []exec.FusedItem, rc RunConfig) (*exec.FusedResult, error) {
+	return rt.RunBatchPlanOpts(m, plan, items, rc, ExecOpts{})
+}
+
+// RunBatchPlanOpts is RunBatchPlan with execution hooks attached.
+func (rt *Runtime) RunBatchPlanOpts(m *models.Model, plan *partition.Plan, items []exec.FusedItem, rc RunConfig, opts ExecOpts) (*exec.FusedResult, error) {
 	o, err := rt.options(rc)
 	if err != nil {
 		return nil, err
@@ -47,6 +62,7 @@ func (rt *Runtime) RunBatchPlan(m *models.Model, plan *partition.Plan, items []e
 		InputParams: m.InputParams,
 		AsyncIssue:  !rc.DisableAsyncIssue,
 		ZeroCopy:    !rc.DisableZeroCopy,
+		FaultHook:   opts.Faults,
 	}
 	return exec.RunFused(m.Graph, plan, items, cfg)
 }

@@ -81,6 +81,13 @@ type RunConfig struct {
 	// optimizations (ablations).
 	DisableAsyncIssue bool
 	DisableZeroCopy   bool
+	// Unhealthy names processors the plan must avoid — the degraded-mode
+	// lever of the fault-tolerance layer. A cooperative mechanism with one
+	// side unhealthy degenerates to single-processor plans (p=0 or p=1,
+	// no branch distribution); a mechanism that cannot run on the surviving
+	// processors errors at plan time. Part of the plan-cache key: degraded
+	// and healthy plans never alias.
+	Unhealthy ProcSet
 }
 
 // Runtime is a μLayer runtime bound to one SoC model: it owns the fitted
@@ -123,28 +130,32 @@ func (rt *Runtime) SoC() *soc.SoC { return rt.soc }
 // Predictor returns the fitted latency predictor.
 func (rt *Runtime) Predictor() *profile.Predictor { return rt.pred }
 
-// options maps a RunConfig to planner options.
+// options maps a RunConfig to planner options, applying the degraded-mode
+// restriction when rc names unhealthy processors.
 func (rt *Runtime) options(rc RunConfig) (partition.Options, error) {
 	dt := rc.DType
+	var o partition.Options
 	switch rc.Mechanism {
 	case MechCPUOnly:
-		return partition.SingleProcessor(rt.soc, rt.pred, partition.ProcCPU, dt), nil
+		o = partition.SingleProcessor(rt.soc, rt.pred, partition.ProcCPU, dt)
 	case MechGPUOnly:
-		return partition.SingleProcessor(rt.soc, rt.pred, partition.ProcGPU, dt), nil
+		o = partition.SingleProcessor(rt.soc, rt.pred, partition.ProcGPU, dt)
 	case MechLayerToProcessor:
-		return partition.LayerToProcessor(rt.soc, rt.pred), nil
+		o = partition.LayerToProcessor(rt.soc, rt.pred)
 	case MechChannelDist:
-		return partition.ChannelDistOnly(rt.soc, rt.pred), nil
+		o = partition.ChannelDistOnly(rt.soc, rt.pred)
 	case MechChannelDistProcQuant:
-		return partition.ChannelDistProcQuant(rt.soc, rt.pred), nil
+		o = partition.ChannelDistProcQuant(rt.soc, rt.pred)
 	case MechMuLayer:
-		return partition.MuLayer(rt.soc, rt.pred), nil
+		o = partition.MuLayer(rt.soc, rt.pred)
 	case MechNPUOnly:
-		return partition.NPUOnly(rt.soc, rt.pred), nil
+		o = partition.NPUOnly(rt.soc, rt.pred)
 	case MechMuLayerNPU:
-		return partition.MuLayerNPU(rt.soc, rt.pred), nil
+		o = partition.MuLayerNPU(rt.soc, rt.pred)
+	default:
+		return partition.Options{}, fmt.Errorf("core: unknown mechanism %d", int(rc.Mechanism))
 	}
-	return partition.Options{}, fmt.Errorf("core: unknown mechanism %d", int(rc.Mechanism))
+	return degrade(o, rc)
 }
 
 // Plan builds the execution plan a RunConfig implies for a model.

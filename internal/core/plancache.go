@@ -13,6 +13,10 @@ import (
 // which only the single-processor mechanisms consult) fully determines the
 // partitioner's split ratios for a model, so the split ratio the issue's
 // cache key names is an attribute of the entry, not a free key dimension.
+// RunConfig.Unhealthy — the healthy-processor mask — is part of RunConfig
+// and therefore of the key: a device running degraded caches its p=0/p=1
+// plans separately from the healthy cooperative plans, and a recovery
+// flips back to the healthy entries without invalidation.
 type planKey struct {
 	model string
 	rc    RunConfig

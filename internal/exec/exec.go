@@ -52,7 +52,19 @@ type Config struct {
 	// (ablation) charges copy-based synchronization on processor
 	// transitions.
 	ZeroCopy bool
+	// FaultHook, when non-nil, is consulted for every kernel the executor
+	// schedules (internal/faults implements it): it may inflate the
+	// kernel's duration (a stall) or return an error (a transient kernel
+	// failure or a permanent processor death), which aborts the run at the
+	// end of the current plan step with that error. The nil hook costs
+	// nothing — the healthy serving path never pays for fault injection.
+	FaultHook FaultHook
 }
+
+// FaultHook intercepts one scheduled kernel: it receives the processor,
+// the kernel label, and the predicted duration, and returns the duration
+// to charge plus an optional error that fails the run.
+type FaultHook func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error)
 
 // DefaultConfig returns the μLayer production configuration for a SoC.
 func DefaultConfig(s *soc.SoC) Config {
@@ -118,9 +130,34 @@ type runner struct {
 	dramBytes int64
 	launches  int
 
+	// failure is the first error raised inside a plan step — an injected
+	// kernel fault or a pipeline defect surfaced by a numeric forward. The
+	// step loop aborts on it; keeping it on the runner lets the deeply
+	// nested schedule/forward paths fail without threading errors through
+	// every cost-model call.
+	failure error
+
 	// all is the mask of every processor present on the SoC; a tensor
 	// with producedOn == all is coherent everywhere.
 	all procMask
+}
+
+// schedule books one kernel on the timeline, first consulting the fault
+// hook (when configured): a stall inflates the duration, a failure is
+// recorded on the runner and aborts the run at the end of the step. The
+// kernel is still booked on failure — the processor was occupied when it
+// faulted, and the timeline stays internally consistent for the partial
+// report.
+func (r *runner) schedule(p *device.Processor, label string, ready, dur time.Duration, energyPJ float64) (start, end time.Duration) {
+	if r.cfg.FaultHook != nil && r.failure == nil {
+		d, err := r.cfg.FaultHook(p, label, dur)
+		if err != nil {
+			r.failure = err
+		} else {
+			dur = d
+		}
+	}
+	return r.tl.Schedule(p.Name, label, ready, dur, energyPJ)
 }
 
 // newRunner prepares per-inference state over a (possibly shared)
@@ -170,14 +207,19 @@ func (r *runner) checkMembers() {
 }
 
 // eachLive runs fn once per still-live member's value map; a no-op in
-// cost-only mode.
-func (r *runner) eachLive(fn func(vals map[graph.NodeID]any)) {
-	if !r.cfg.Numeric {
+// cost-only mode or once the run has failed. A pipeline defect reported
+// by fn (e.g. a layer with no kernel for the storage type) fails the
+// whole run, not one member — it is a plan problem, not a deadline.
+func (r *runner) eachLive(fn func(vals map[graph.NodeID]any) error) {
+	if !r.cfg.Numeric || r.failure != nil {
 		return
 	}
 	for _, it := range r.items {
 		if it.err == nil {
-			fn(it.vals)
+			if err := fn(it.vals); err != nil {
+				r.failure = err
+				return
+			}
 		}
 	}
 }
@@ -214,6 +256,9 @@ func (r *runner) execute(plan *partition.Plan) error {
 		case st.Branch != nil:
 			r.runBranch(st.Branch)
 		}
+		if r.failure != nil {
+			return r.failure
+		}
 	}
 	return nil
 }
@@ -222,6 +267,9 @@ func (r *runner) execute(plan *partition.Plan) error {
 func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config) (*Result, error) {
 	if cfg.SoC == nil {
 		return nil, fmt.Errorf("exec: SoC is required")
+	}
+	if err := checkStorage(cfg.Pipe.Storage); err != nil {
+		return nil, err
 	}
 	shapes, err := g.InferShapes()
 	if err != nil {
@@ -249,7 +297,11 @@ func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config)
 	r := newRunner(g, cfg, shapes, sim.NewTimeline(), 0)
 	it := &fusedMember{}
 	if cfg.Numeric {
-		it.vals = map[graph.NodeID]any{g.Input(): r.convertInput(input)}
+		in, err := r.convertInput(input)
+		if err != nil {
+			return nil, err
+		}
+		it.vals = map[graph.NodeID]any{g.Input(): in}
 	}
 	r.items = []*fusedMember{it}
 	if err := r.execute(plan); err != nil {
@@ -279,17 +331,27 @@ func Run(g *graph.Graph, plan *partition.Plan, input *tensor.Tensor, cfg Config)
 	return res, nil
 }
 
+// checkStorage rejects a pipeline whose storage type the executor has no
+// kernels for — a malformed plan/config is a returned error, not a crash.
+func checkStorage(dt tensor.DataType) error {
+	switch dt {
+	case tensor.F32, tensor.F16, tensor.QUInt8:
+		return nil
+	}
+	return fmt.Errorf("exec: unknown storage type %v", dt)
+}
+
 // convertInput lowers the float32 input into the pipeline's storage type.
-func (r *runner) convertInput(in *tensor.Tensor) any {
+func (r *runner) convertInput(in *tensor.Tensor) (any, error) {
 	switch r.cfg.Pipe.Storage {
 	case tensor.F32:
-		return in.Clone()
+		return in.Clone(), nil
 	case tensor.F16:
-		return tensor.ToHalf(in)
+		return tensor.ToHalf(in), nil
 	case tensor.QUInt8:
-		return tensor.Quantize(in, r.cfg.InputParams)
+		return tensor.Quantize(in, r.cfg.InputParams), nil
 	}
-	panic("exec: unknown storage type")
+	return nil, checkStorage(r.cfg.Pipe.Storage)
 }
 
 // outputF32 widens the final activation back to float32.
@@ -399,15 +461,21 @@ func (r *runner) runWhole(id graph.NodeID, p partition.Proc, chargeLaunch bool, 
 	if chargeLaunch {
 		dur += proc.LaunchOverhead
 	}
-	_, end := r.tl.Schedule(proc.Name, n.Layer.Name(), ready, dur, proc.KernelEnergyPJ(w))
+	_, end := r.schedule(proc, n.Layer.Name(), ready, dur, proc.KernelEnergyPJ(w))
 	r.launches++
 	r.dramBytes += w.MovedBytes
 	r.ready[id] = end
 	r.producedOn[id] = maskOf(p)
-	r.eachLive(func(vals map[graph.NodeID]any) {
-		out := r.allocOut(id, vals)
-		r.forward(id, out, 0, r.fullRange(id), p, vals)
+	r.eachLive(func(vals map[graph.NodeID]any) error {
+		out, err := r.allocOut(id, vals)
+		if err != nil {
+			return err
+		}
+		if err := r.forward(id, out, 0, r.fullRange(id), p, vals); err != nil {
+			return err
+		}
 		vals[id] = out
+		return nil
 	})
 }
 
@@ -465,8 +533,8 @@ func (r *runner) runLayer(id graph.NodeID, p float64) {
 		gpuDur = gpuK
 		gpuReady = ready + gpu.LaunchOverhead
 	}
-	_, cpuEnd := r.tl.Schedule(cpu.Name, n.Layer.Name()+"[cpu]", ready, cpuDur, cpu.KernelEnergyPJ(cw))
-	_, gpuEnd := r.tl.Schedule(gpu.Name, n.Layer.Name()+"[gpu]", gpuReady, gpuDur, gpu.KernelEnergyPJ(gw))
+	_, cpuEnd := r.schedule(cpu, n.Layer.Name()+"[cpu]", ready, cpuDur, cpu.KernelEnergyPJ(cw))
+	_, gpuEnd := r.schedule(gpu, n.Layer.Name()+"[gpu]", gpuReady, gpuDur, gpu.KernelEnergyPJ(gw))
 	r.launches += 2
 	r.dramBytes += cw.MovedBytes + gw.MovedBytes
 
@@ -488,11 +556,19 @@ func (r *runner) runLayer(id graph.NodeID, p float64) {
 	r.producedOn[id] = r.all
 	r.seq = end
 
-	r.eachLive(func(vals map[graph.NodeID]any) {
-		out := r.allocOut(id, vals)
-		r.forward(id, out, 0, splitC, partition.ProcCPU, vals)
-		r.forward(id, out, splitC, c, partition.ProcGPU, vals)
+	r.eachLive(func(vals map[graph.NodeID]any) error {
+		out, err := r.allocOut(id, vals)
+		if err != nil {
+			return err
+		}
+		if err := r.forward(id, out, 0, splitC, partition.ProcCPU, vals); err != nil {
+			return err
+		}
+		if err := r.forward(id, out, splitC, c, partition.ProcGPU, vals); err != nil {
+			return err
+		}
 		vals[id] = out
+		return nil
 	})
 }
 
@@ -528,17 +604,17 @@ func (r *runner) fullRange(id graph.NodeID) int {
 }
 
 // allocOut allocates the node's output tensor in the storage type.
-func (r *runner) allocOut(id graph.NodeID, vals map[graph.NodeID]any) any {
+func (r *runner) allocOut(id graph.NodeID, vals map[graph.NodeID]any) (any, error) {
 	shape := r.shapes[id]
 	switch r.cfg.Pipe.Storage {
 	case tensor.F32:
-		return tensor.New(shape)
+		return tensor.New(shape), nil
 	case tensor.F16:
-		return tensor.NewH(shape)
+		return tensor.NewH(shape), nil
 	case tensor.QUInt8:
-		return tensor.NewQ(shape, r.outParams(id, vals))
+		return tensor.NewQ(shape, r.outParams(id, vals)), nil
 	}
-	panic("exec: unknown storage type")
+	return nil, checkStorage(r.cfg.Pipe.Storage)
 }
 
 // outParams resolves the quantization grid of a node's output: the layer's
@@ -576,8 +652,9 @@ type qViaF16Forwarder interface {
 
 // forward dispatches the numeric kernel for channels [c0,c1) of node id on
 // the pipeline of processor side, reading and writing one batch member's
-// value map.
-func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Proc, vals map[graph.NodeID]any) {
+// value map. A layer with no kernel for the pipeline is a malformed plan:
+// a returned error (a 500 at the serving layer), not a crash.
+func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Proc, vals map[graph.NodeID]any) error {
 	n := r.g.Node(id)
 	layer := n.Layer
 	switch r.cfg.Pipe.Storage {
@@ -586,7 +663,11 @@ func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Pr
 		for i, inID := range n.Inputs {
 			ins[i] = vals[inID].(*tensor.Tensor)
 		}
-		layer.(f32Forwarder).ForwardF32(ins, out.(*tensor.Tensor), c0, c1)
+		l, ok := layer.(f32Forwarder)
+		if !ok {
+			return fmt.Errorf("exec: layer %s has no F32 pipeline", layer.Name())
+		}
+		l.ForwardF32(ins, out.(*tensor.Tensor), c0, c1)
 	case tensor.F16:
 		ins := make([]*tensor.HTensor, len(n.Inputs))
 		for i, inID := range n.Inputs {
@@ -598,7 +679,7 @@ func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Pr
 		case hForwarder:
 			l.ForwardF16(ins, out.(*tensor.HTensor), c0, c1)
 		default:
-			panic(fmt.Sprintf("exec: layer %s has no F16 pipeline", layer.Name()))
+			return fmt.Errorf("exec: layer %s has no F16 pipeline", layer.Name())
 		}
 	case tensor.QUInt8:
 		ins := make([]*tensor.QTensor, len(n.Inputs))
@@ -608,9 +689,14 @@ func (r *runner) forward(id graph.NodeID, out any, c0, c1 int, side partition.Pr
 		if r.cfg.Pipe.Converted(side) {
 			if l, ok := layer.(qViaF16Forwarder); ok {
 				l.ForwardQViaF16(ins, out.(*tensor.QTensor), c0, c1)
-				return
+				return nil
 			}
 		}
-		layer.(qForwarder).ForwardQ(ins, out.(*tensor.QTensor), c0, c1)
+		l, ok := layer.(qForwarder)
+		if !ok {
+			return fmt.Errorf("exec: layer %s has no QUInt8 pipeline", layer.Name())
+		}
+		l.ForwardQ(ins, out.(*tensor.QTensor), c0, c1)
 	}
+	return nil
 }

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mulayer/internal/device"
+	"mulayer/internal/models"
+	"mulayer/internal/partition"
+	"mulayer/internal/soc"
+	"mulayer/internal/tensor"
+)
+
+// faultModel builds a small cost-only model and a mulayer-style plan.
+func faultModel(t *testing.T) (*models.Model, *partition.Plan, Config) {
+	t.Helper()
+	m, err := models.LeNet5(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := soc.Exynos7420()
+	cfg := DefaultConfig(s)
+	plan := splitPlan(t, m, 0.5)
+	return m, plan, cfg
+}
+
+// TestFaultHookStall: a stalling hook must lengthen the simulated
+// makespan and never fail the run.
+func TestFaultHookStall(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	base, err := Run(m.Graph, plan, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		return d * 10, nil
+	}
+	stalled, err := Run(m.Graph, plan, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalled.Report.Latency <= base.Report.Latency {
+		t.Fatalf("stalled latency %v not above base %v", stalled.Report.Latency, base.Report.Latency)
+	}
+}
+
+// TestFaultHookFail: a failing hook must abort the run with the hook's
+// error — no panic, no partial success.
+func TestFaultHookFail(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	boom := errors.New("injected kernel failure")
+	calls := 0
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		calls++
+		if calls == 3 {
+			return d, boom
+		}
+		return d, nil
+	}
+	if _, err := Run(m.Graph, plan, nil, cfg); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the injected failure", err)
+	}
+	// Fused runs take the same abort path.
+	calls = 0
+	if _, err := RunFused(m.Graph, plan, []FusedItem{{Rows: 2}}, cfg); !errors.Is(err, boom) {
+		t.Fatalf("fused: got %v, want the injected failure", err)
+	}
+}
+
+// TestFaultHookZeroWhenNil: the healthy path must not change behavior —
+// hook absent and hook present-but-quiet produce identical reports.
+func TestFaultHookZeroWhenNil(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	base, err := Run(m.Graph, plan, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		return d, nil
+	}
+	quiet, err := Run(m.Graph, plan, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Report.Latency != base.Report.Latency || quiet.Report.KernelLaunches != base.Report.KernelLaunches {
+		t.Fatalf("quiet hook changed the report: %+v vs %+v", quiet.Report, base.Report)
+	}
+}
+
+// TestUnknownStorageIsError: a malformed pipeline is a returned error,
+// not a process crash (the former panic path).
+func TestUnknownStorageIsError(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	cfg.Pipe.Storage = tensor.DataType(99)
+	if _, err := Run(m.Graph, plan, nil, cfg); err == nil || !strings.Contains(err.Error(), "unknown storage") {
+		t.Fatalf("unknown storage: got %v, want error", err)
+	}
+	if _, err := RunFused(m.Graph, plan, []FusedItem{{}}, cfg); err == nil || !strings.Contains(err.Error(), "unknown storage") {
+		t.Fatalf("fused unknown storage: got %v, want error", err)
+	}
+}

@@ -73,6 +73,9 @@ func RunFused(g *graph.Graph, plan *partition.Plan, items []FusedItem, cfg Confi
 	if cfg.SoC == nil {
 		return nil, fmt.Errorf("exec: SoC is required")
 	}
+	if err := checkStorage(cfg.Pipe.Storage); err != nil {
+		return nil, err
+	}
 	if len(items) == 0 {
 		return nil, fmt.Errorf("exec: fused batch needs at least one item")
 	}
@@ -112,7 +115,11 @@ func RunFused(g *graph.Graph, plan *partition.Plan, items []FusedItem, cfg Confi
 	for i, it := range items {
 		m := &fusedMember{ctx: it.Ctx}
 		if cfg.Numeric {
-			m.vals = map[graph.NodeID]any{g.Input(): r.convertInput(it.Input)}
+			in, err := r.convertInput(it.Input)
+			if err != nil {
+				return nil, err
+			}
+			m.vals = map[graph.NodeID]any{g.Input(): in}
 		}
 		r.items[i] = m
 	}

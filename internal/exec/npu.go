@@ -66,7 +66,7 @@ func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
 		if p == partition.ProcCPU {
 			dur += issueStall
 		}
-		_, e := r.tl.Schedule(proc.Name, n.Layer.Name()+"["+procSuffix(p)+"]", start, dur, proc.KernelEnergyPJ(w))
+		_, e := r.schedule(proc, n.Layer.Name()+"["+procSuffix(p)+"]", start, dur, proc.KernelEnergyPJ(w))
 		r.launches++
 		r.dramBytes += w.MovedBytes
 		if e > end {
@@ -90,21 +90,31 @@ func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
 	r.producedOn[id] = r.all
 	r.seq = end
 
-	r.eachLive(func(vals map[graph.NodeID]any) {
-		out := r.allocOut(id, vals)
+	r.eachLive(func(vals map[graph.NodeID]any) error {
+		out, err := r.allocOut(id, vals)
+		if err != nil {
+			return err
+		}
 		lo := 0
 		if cpuCh > 0 {
-			r.forward(id, out, lo, lo+cpuCh, partition.ProcCPU, vals)
+			if err := r.forward(id, out, lo, lo+cpuCh, partition.ProcCPU, vals); err != nil {
+				return err
+			}
 			lo += cpuCh
 		}
 		if gpuCh > 0 {
-			r.forward(id, out, lo, lo+gpuCh, partition.ProcGPU, vals)
+			if err := r.forward(id, out, lo, lo+gpuCh, partition.ProcGPU, vals); err != nil {
+				return err
+			}
 			lo += gpuCh
 		}
 		if npuCh > 0 {
-			r.forward(id, out, lo, lo+npuCh, partition.ProcNPU, vals)
+			if err := r.forward(id, out, lo, lo+npuCh, partition.ProcNPU, vals); err != nil {
+				return err
+			}
 		}
 		vals[id] = out
+		return nil
 	})
 }
 

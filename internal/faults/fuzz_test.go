@@ -1,0 +1,49 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"mulayer/internal/soc"
+)
+
+// FuzzFaultConfig hardens the fault-spec decoder: any input must either
+// parse into configs that validate cleanly and drive an injector without
+// panicking, or return an error — never crash.
+func FuzzFaultConfig(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"fail=0.05,stall=0.02,stallx=5,die=0.001,panic=0.001,seed=42",
+		"high:fail=0.1,die=0.01;mid:fail=0.02",
+		"proc=gpu,max=1,die=1",
+		"fail=NaN",
+		"stallx=1e308",
+		";;;",
+		"a:b:c",
+		"fail=0.3,fail=0.3",
+		"high:;mid:fail=0.1",
+	} {
+		f.Add(seed)
+	}
+	cpu := soc.Exynos7420().CPU
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		for class, cfg := range m {
+			if verr := cfg.Validate(); verr != nil {
+				t.Fatalf("spec %q: class %q parsed but does not validate: %v", spec, class, verr)
+			}
+			// A parsed config must drive an injector without panicking
+			// (injected Panic decisions are the one intentional panic).
+			in := New(cfg, 1)
+			for i := 0; i < 8; i++ {
+				func() {
+					defer func() { _ = recover() }()
+					_, _ = in.Kernel(cpu, "fuzz", time.Millisecond)
+				}()
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec decodes a fault-injection flag value into per-class configs.
+//
+// Grammar: semicolon-separated blocks, each an optional "class:" scope
+// followed by comma-separated key=value pairs:
+//
+//	fail=0.05,stall=0.02,stallx=5,die=0.001,panic=0.001,seed=42
+//	high:fail=0.1,die=0.01;mid:fail=0.02
+//	gpu only: high:die=1,proc=gpu,max=1
+//
+// An unscoped block applies to every device class (key ""). Keys:
+//
+//	seed   PRNG seed (integer)
+//	fail   per-kernel transient failure probability
+//	stall  per-kernel stall probability
+//	stallx stall duration multiplier (≥ 1)
+//	die    per-kernel permanent processor-death probability
+//	panic  per-kernel panic probability
+//	proc   restrict injection to one processor class (cpu|gpu|npu)
+//	max    fault budget: stop injecting after this many faults (0 = ∞)
+//
+// Every malformed spec — unknown keys, bad numbers, out-of-range rates,
+// duplicate classes — returns an error, never a panic (FuzzFaultConfig
+// holds it to that). An empty spec returns an empty, non-nil map.
+func ParseSpec(spec string) (map[string]Config, error) {
+	out := make(map[string]Config)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return out, nil
+	}
+	for _, block := range strings.Split(spec, ";") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		class := ""
+		if head, rest, ok := strings.Cut(block, ":"); ok {
+			class = strings.TrimSpace(head)
+			if class == "" {
+				return nil, fmt.Errorf("faults: empty class scope in %q", block)
+			}
+			block = rest
+		}
+		if _, dup := out[class]; dup {
+			return nil, fmt.Errorf("faults: duplicate spec for class %q", classLabel(class))
+		}
+		cfg, err := parseBlock(block)
+		if err != nil {
+			return nil, fmt.Errorf("faults: class %s: %w", classLabel(class), err)
+		}
+		out[class] = cfg
+	}
+	return out, nil
+}
+
+func classLabel(class string) string {
+	if class == "" {
+		return "(all)"
+	}
+	return fmt.Sprintf("%q", class)
+}
+
+func parseBlock(block string) (Config, error) {
+	var cfg Config
+	seen := map[string]bool{}
+	for _, pair := range strings.Split(block, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return cfg, fmt.Errorf("want key=value, got %q", pair)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return cfg, fmt.Errorf("duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "seed", "max":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad %s %q", key, val)
+			}
+			if key == "seed" {
+				cfg.Seed = n
+			} else {
+				if n < 0 || n > 1<<31 {
+					return cfg, fmt.Errorf("fault budget %d out of range", n)
+				}
+				cfg.MaxFaults = int(n)
+			}
+		case "fail", "stall", "stallx", "die", "panic":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad %s %q", key, val)
+			}
+			switch key {
+			case "fail":
+				cfg.FailRate = f
+			case "stall":
+				cfg.StallRate = f
+			case "stallx":
+				cfg.StallFactor = f
+			case "die":
+				cfg.DieRate = f
+			case "panic":
+				cfg.PanicRate = f
+			}
+		case "proc":
+			cfg.Proc = strings.ToLower(val)
+		default:
+			return cfg, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

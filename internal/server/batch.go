@@ -8,11 +8,16 @@ import (
 )
 
 // groupKey identifies one batching window: only requests for the same
-// model, mechanism, and SoC-class constraint can share a fused execution.
+// model, mechanism, SoC-class constraint, and failover exclusion set can
+// share a fused execution (a retried request must not drag fresh
+// batchmates onto its shrunken device set, or vice versa).
 type groupKey struct {
 	model string
 	mech  core.Mechanism
 	soc   string // requested class ("" = any device)
+	// exclude is the bitmask of device ids the members' retries must avoid
+	// (0 for first attempts).
+	exclude uint64
 }
 
 // batchGroup is one micro-batch: an open accumulation window while in
@@ -33,6 +38,15 @@ type batchGroup struct {
 	// cost is the predicted fused makespan charged to the device backlog
 	// at dispatch, released when the batch settles.
 	cost time.Duration
+	// rc is the run configuration chosen at dispatch: it carries the
+	// winning device's degraded-mode mask, so the worker executes exactly
+	// the plan the dispatcher costed.
+	rc core.RunConfig
+	// probe marks the batch as a quarantined device's half-open probe.
+	probe bool
+	// released flips when the group's backlog/depth charges are returned;
+	// it makes the normal path and the worker's panic recovery idempotent.
+	released bool
 }
 
 // runCfg is the serving run configuration for a mechanism (cost-only:
@@ -44,8 +58,8 @@ func runCfg(mech core.Mechanism) core.RunConfig {
 // enqueueLocked adds an admitted request to its batching window, opening
 // one (with its flush timer) if needed and dispatching when the window
 // fills. Caller holds s.mu.
-func (s *Scheduler) enqueueLocked(p *pending, socClass string) {
-	key := groupKey{model: p.modelName, mech: p.mech, soc: socClass}
+func (s *Scheduler) enqueueLocked(p *pending) {
+	key := groupKey{model: p.modelName, mech: p.mech, soc: p.soc, exclude: p.exclude}
 	g := s.open[key]
 	if g != nil && g.rows+p.rows > s.cfg.MaxBatch {
 		// The newcomer would overflow the window: seal it and start fresh.
@@ -75,7 +89,11 @@ func (s *Scheduler) enqueueLocked(p *pending, socClass string) {
 // dispatchLocked seals a window and hands it to the device with the
 // minimum predicted completion time for the fused batch — the makespan
 // argument of the single-request dispatcher, evaluated at the batch's
-// actual row count via the per-class plan cache. Caller holds s.mu.
+// actual row count via the per-class plan cache. Devices that are
+// quarantined (backoff pending), probing, dead, or on the group's
+// exclusion list are skipped; a degraded device is costed under its own
+// degraded plan. Picking a quarantined-past-backoff device claims its
+// half-open probe slot. Caller holds s.mu.
 func (s *Scheduler) dispatchLocked(g *batchGroup) {
 	g.flushed = true
 	if g.timer != nil {
@@ -84,28 +102,50 @@ func (s *Scheduler) dispatchLocked(g *batchGroup) {
 	delete(s.open, g.key)
 	s.mets.windowWait.With(g.key.model).Observe(time.Since(g.opened).Seconds())
 
+	now := time.Now()
 	var best *poolDevice
+	var bestRC core.RunConfig
 	var bestCost, bestDone time.Duration
+	var lastErr error
+	classSeen := false
 	for _, d := range s.devices {
 		if g.key.soc != "" && d.class != g.key.soc {
 			continue
 		}
-		cost, err := s.caches[d.class].Estimate(g.model, runCfg(g.key.mech), g.rows)
+		classSeen = true
+		if g.key.exclude&(1<<uint(d.id)) != 0 || !d.canServe(now) {
+			continue
+		}
+		rc := d.runCfg(g.key.mech)
+		cost, err := s.caches[d.class].Estimate(g.model, rc, g.rows)
 		if err != nil {
-			// Admission warmed the single-row estimate, so a failure here
-			// is a planner regression; fail the whole group.
-			s.settleGroupLocked(g, err)
-			return
+			// A degraded device may be unable to plan this mechanism at
+			// all (e.g. cpu-only with the CPU down); skip it rather than
+			// failing the group — another device may still serve it.
+			lastErr = err
+			continue
 		}
 		if done := d.predictedCompletion() + cost; best == nil || done < bestDone {
-			best, bestCost, bestDone = d, cost, done
+			best, bestRC, bestCost, bestDone = d, rc, cost, done
 		}
 	}
 	if best == nil {
-		s.settleGroupLocked(g, ErrNoDevice)
+		switch {
+		case !classSeen:
+			s.settleGroupLocked(g, ErrNoDevice)
+		case lastErr != nil:
+			s.settleGroupLocked(g, lastErr)
+		default:
+			s.settleGroupLocked(g, ErrNoHealthyDevice)
+		}
 		return
 	}
 	g.cost = bestCost
+	g.rc = bestRC
+	if best.noteDispatch() {
+		g.probe = true
+		s.mets.quarantine.With(best.name, "probe").Inc()
+	}
 	best.backlogNS.Add(int64(bestCost))
 	best.depth.Add(int64(len(g.items)))
 	// The queue's capacity equals the global request bound and every group
@@ -114,11 +154,24 @@ func (s *Scheduler) dispatchLocked(g *batchGroup) {
 	best.queue <- g
 }
 
+// requeueLocked re-dispatches one member of a failed batch immediately as
+// its own group: retries skip the batching window — their deadline already
+// absorbed one queue wait. Caller holds s.mu.
+func (s *Scheduler) requeueLocked(p *pending) {
+	g := &batchGroup{
+		key:    groupKey{model: p.modelName, mech: p.mech, soc: p.soc, exclude: p.exclude},
+		model:  p.model,
+		items:  []*pending{p},
+		rows:   p.rows,
+		opened: time.Now(),
+	}
+	s.dispatchLocked(g)
+}
+
 // settleGroupLocked fails every member of an undispatched group. Caller
 // holds s.mu.
 func (s *Scheduler) settleGroupLocked(g *batchGroup, err error) {
-	s.queued -= len(g.items)
 	for _, p := range g.items {
-		p.done <- outcome{err: err}
+		s.settleLocked(p, outcome{err: err})
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"mulayer/internal/faults"
 	"mulayer/internal/models"
 	"mulayer/internal/soc"
 )
@@ -80,6 +81,25 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: after it expires, queued and
 	// in-flight requests are canceled (default 10s).
 	DrainTimeout time.Duration
+
+	// Faults maps a SoC class name to its fault-injection config; the ""
+	// key applies to every class without its own entry. Empty map (the
+	// default) disables injection entirely — the executor's fault hook is
+	// then nil and the healthy path pays nothing.
+	Faults map[string]faults.Config
+
+	// FailThreshold is the number of consecutive device failures that
+	// quarantines a device (default 3).
+	FailThreshold int
+	// QuarantineBackoff is the first quarantine duration; each
+	// re-quarantine doubles it up to QuarantineBackoffMax (defaults 2s and
+	// 30s).
+	QuarantineBackoff    time.Duration
+	QuarantineBackoffMax time.Duration
+	// MaxRetries bounds how many times one request may be requeued onto
+	// another device after a device failure (default 2; negative disables
+	// retries).
+	MaxRetries int
 }
 
 // withDefaults fills zero fields.
@@ -149,5 +169,39 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	for class, fc := range c.Faults {
+		if class != "" && !seen[class] {
+			return c, fmt.Errorf("server: fault config for unknown SoC class %q", class)
+		}
+		if err := fc.Validate(); err != nil {
+			return c, fmt.Errorf("server: fault config for class %q: %w", classLabel(class), err)
+		}
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.QuarantineBackoff <= 0 {
+		c.QuarantineBackoff = 2 * time.Second
+	}
+	if c.QuarantineBackoffMax <= 0 {
+		c.QuarantineBackoffMax = 30 * time.Second
+	}
+	if c.QuarantineBackoffMax < c.QuarantineBackoff {
+		c.QuarantineBackoffMax = c.QuarantineBackoff
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
 	return c, nil
+}
+
+// classLabel names a fault-config key in errors ("" is the catch-all).
+func classLabel(class string) string {
+	if class == "" {
+		return "all"
+	}
+	return class
 }

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mulayer/internal/core"
+	"mulayer/internal/device"
+	"mulayer/internal/faults"
+)
+
+// Failover errors, mapped to 503 by the handler: the service is degraded,
+// not the request malformed.
+var (
+	// ErrRetriesExhausted means a request kept landing on failing devices
+	// until its retry budget ran out.
+	ErrRetriesExhausted = errors.New("server: device failed and retries are exhausted")
+	// ErrDeadlineTooTight means a device failed and the request's remaining
+	// deadline cannot survive a retry on any other device.
+	ErrDeadlineTooTight = errors.New("server: device failed and the deadline cannot survive a retry")
+	// ErrNoHealthyDevice means every device that could serve the request is
+	// quarantined, probing, or dead.
+	ErrNoHealthyDevice = errors.New("server: no healthy device")
+)
+
+// DeviceError wraps a device-level failure: an injected fault or a panic
+// recovered from a device worker. The scheduler treats it as grounds for
+// failover rather than a request error.
+type DeviceError struct {
+	Device string
+	Cause  error
+}
+
+// Error implements error.
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("server: device %s failed: %v", e.Device, e.Cause)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *DeviceError) Unwrap() error { return e.Cause }
+
+// isDeviceFailure reports whether err blames the device (failover) rather
+// than the request (terminal error).
+func isDeviceFailure(err error) bool {
+	var de *DeviceError
+	var f *faults.Fault
+	return errors.As(err, &de) || errors.As(err, &f)
+}
+
+// healthState is the circuit-breaker state of one pool device.
+type healthState int
+
+const (
+	// healthOK: the device takes work normally.
+	healthOK healthState = iota
+	// healthQuarantined: too many consecutive failures; the device takes no
+	// work until its backoff expires, then becomes a probe candidate.
+	healthQuarantined
+	// healthProbing: the half-open state — exactly one probe batch is in
+	// flight; success closes the circuit, failure re-quarantines with a
+	// doubled backoff.
+	healthProbing
+	// healthDead: the device can serve nothing (both CPU and GPU died).
+	healthDead
+)
+
+// String implements fmt.Stringer.
+func (h healthState) String() string {
+	switch h {
+	case healthOK:
+		return "ok"
+	case healthQuarantined:
+		return "quarantined"
+	case healthProbing:
+		return "probing"
+	case healthDead:
+		return "dead"
+	}
+	return fmt.Sprintf("healthState(%d)", int(h))
+}
+
+// procSetOfType maps a device processor class to its core mask bit.
+func procSetOfType(t device.Type) core.ProcSet {
+	switch t {
+	case device.CPU:
+		return core.ProcSetCPU
+	case device.NPU:
+		return core.ProcSetNPU
+	}
+	return core.ProcSetGPU
+}
+
+// healthSnapshot is one device's health view (for /readyz and /statusz).
+type healthSnapshot struct {
+	State    healthState
+	Down     core.ProcSet
+	Failures int
+	Until    time.Time // quarantine expiry (zero unless quarantined)
+}
+
+// health returns a consistent snapshot.
+func (d *poolDevice) health() healthSnapshot {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return healthSnapshot{State: d.state, Down: d.down, Failures: d.failures, Until: d.until}
+}
+
+// canServe reports whether the dispatcher may consider the device now:
+// healthy, or quarantined with the backoff expired (a probe candidate).
+// Probing devices are excluded — the half-open circuit admits exactly the
+// one probe batch already in flight.
+func (d *poolDevice) canServe(now time.Time) bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	switch d.state {
+	case healthOK:
+		return true
+	case healthQuarantined:
+		return !now.Before(d.until)
+	}
+	return false
+}
+
+// runCfg returns the device's run configuration for a mechanism — the
+// degraded-mode mask rides on RunConfig.Unhealthy, so a device with a dead
+// processor plans (and caches plans) around it.
+func (d *poolDevice) runCfg(mech core.Mechanism) core.RunConfig {
+	d.hmu.Lock()
+	down := d.down
+	d.hmu.Unlock()
+	return core.RunConfig{Mechanism: mech, Unhealthy: down}
+}
+
+// noteDispatch claims the half-open probe slot when the dispatcher picks a
+// quarantined-past-backoff device; returns true when this dispatch is the
+// probe.
+func (d *poolDevice) noteDispatch() bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	if d.state == healthQuarantined {
+		d.state = healthProbing
+		return true
+	}
+	return false
+}
+
+// revertProbe returns a claimed probe slot to quarantine when the probe
+// batch produced no verdict (every member died while queued, or the run
+// failed for reasons that do not blame the device). The expired backoff
+// stays expired, so the device is immediately a probe candidate again.
+func (d *poolDevice) revertProbe() {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	if d.state == healthProbing {
+		d.state = healthQuarantined
+	}
+}
+
+// recordSuccess closes the circuit after a clean batch.
+func (d *poolDevice) recordSuccess() (recovered bool) {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	recovered = d.state == healthProbing || d.state == healthQuarantined
+	if d.state != healthDead {
+		d.state = healthOK
+	}
+	d.failures = 0
+	d.backoff = 0
+	d.until = time.Time{}
+	return recovered
+}
+
+// recordFailure applies one device failure to the circuit breaker:
+// permDown marks processors the fault killed permanently. It returns the
+// transition taken ("" when the failure stayed under the threshold).
+func (d *poolDevice) recordFailure(permDown core.ProcSet, threshold int, backoff, backoffMax time.Duration, now time.Time) string {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	d.down |= permDown
+	if d.down.Has(core.ProcSetCPU) && d.down.Has(core.ProcSetGPU) {
+		d.state = healthDead
+		return "dead"
+	}
+	d.failures++
+	if d.state == healthProbing || d.failures >= threshold {
+		d.state = healthQuarantined
+		if d.backoff <= 0 {
+			d.backoff = backoff
+		} else {
+			d.backoff *= 2
+			if d.backoff > backoffMax {
+				d.backoff = backoffMax
+			}
+		}
+		d.until = now.Add(d.backoff)
+		return "quarantined"
+	}
+	if permDown != 0 {
+		return "degraded"
+	}
+	return ""
+}

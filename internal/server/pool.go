@@ -2,10 +2,12 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mulayer/internal/core"
+	"mulayer/internal/faults"
 )
 
 // poolDevice is one simulated device: a core.Runtime plus its dispatch
@@ -31,6 +33,19 @@ type poolDevice struct {
 	depth atomic.Int64
 	// served counts completed (2xx) inferences.
 	served atomic.Int64
+
+	// faults is the device's fault injector; nil when injection is off (the
+	// executor hook is then nil too — the healthy path pays nothing).
+	faults *faults.Injector
+
+	// Circuit-breaker state, guarded by hmu. Lock order: s.mu may be held
+	// when taking hmu, never the reverse.
+	hmu      sync.Mutex
+	state    healthState
+	down     core.ProcSet // processors that died permanently
+	failures int          // consecutive device failures
+	backoff  time.Duration
+	until    time.Time // quarantine expiry
 }
 
 // buildPool instantiates the device pool: Workers independent runtimes
@@ -43,13 +58,22 @@ func buildPool(cfg Config) ([]*poolDevice, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: build %s device %d: %w", spec.Name, w, err)
 			}
-			pool = append(pool, &poolDevice{
+			d := &poolDevice{
 				id:    len(pool),
 				name:  fmt.Sprintf("%s-%d", spec.Name, w),
 				class: spec.Name,
 				rt:    rt,
 				queue: make(chan *batchGroup, cfg.QueueDepth),
-			})
+			}
+			// Class-specific fault configs win over the "" catch-all; a
+			// per-device salt gives every device its own deterministic
+			// stream from the one fleet seed.
+			if fc, ok := cfg.Faults[spec.Name]; ok && fc.Enabled() {
+				d.faults = faults.New(fc, int64(d.id))
+			} else if fc, ok := cfg.Faults[""]; ok && fc.Enabled() {
+				d.faults = faults.New(fc, int64(d.id))
+			}
+			pool = append(pool, d)
 		}
 	}
 	return pool, nil

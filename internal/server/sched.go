@@ -10,6 +10,7 @@ import (
 
 	"mulayer/internal/core"
 	"mulayer/internal/exec"
+	"mulayer/internal/faults"
 	"mulayer/internal/models"
 	"mulayer/internal/server/metrics"
 )
@@ -26,15 +27,27 @@ var (
 )
 
 // pending is one admitted request: a member of a batching window, then of
-// a dispatched batch.
+// a dispatched batch, possibly requeued across devices by failover.
 type pending struct {
 	ctx       context.Context
 	model     *models.Model
 	modelName string
 	mech      core.Mechanism
-	rows      int // rows this request contributes to its batch (≥1)
+	soc       string // requested class ("" = any device)
+	rows      int    // rows this request contributes to its batch (≥1)
 	enqueued  time.Time
 	done      chan outcome // buffered(1): the worker never blocks on it
+
+	// attempts counts device failures this request survived; exclude is
+	// the bitmask of device ids those failures occurred on. Guarded by
+	// s.mu (a request is owned by one worker at a time, but failover hands
+	// it between workers through the scheduler lock).
+	attempts int
+	exclude  uint64
+	// settled flips when the request's outcome is delivered; it makes
+	// settlement idempotent so the normal path, the failover path, and the
+	// worker's panic recovery can race safely. Guarded by s.mu.
+	settled bool
 }
 
 // outcome is the terminal state of one admitted request.
@@ -89,6 +102,10 @@ type schedMetrics struct {
 	simLat     *metrics.HistogramVec // model, soc, mechanism
 	wallLat    *metrics.HistogramVec // model, soc
 	inflight   *metrics.GaugeVec     // device
+	faults     *metrics.CounterVec   // device, kind
+	retries    *metrics.CounterVec   // device (the one that failed)
+	quarantine *metrics.CounterVec   // device, transition
+	degraded   *metrics.CounterVec   // device
 }
 
 func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
@@ -113,6 +130,14 @@ func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
 			"Wall time from admission to completion.", metrics.LatencyBuckets(), "model", "soc"),
 		inflight: metrics.NewGaugeVec(reg, "mulayer_inflight",
 			"Requests currently executing, by device.", "device"),
+		faults: metrics.NewCounterVec(reg, "mulayer_faults_injected_total",
+			"Injected fault decisions, by device and kind.", "device", "kind"),
+		retries: metrics.NewCounterVec(reg, "mulayer_failover_retries_total",
+			"Requests requeued onto another device after a device failure.", "device"),
+		quarantine: metrics.NewCounterVec(reg, "mulayer_quarantine_transitions_total",
+			"Device circuit-breaker transitions.", "device", "transition"),
+		degraded: metrics.NewCounterVec(reg, "mulayer_degraded_batches_total",
+			"Batches executed under a degraded (processor-down) plan.", "device"),
 	}
 }
 
@@ -158,6 +183,12 @@ func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
 			return float64(s.cacheStats().Misses)
 		})
 	for _, d := range devices {
+		if d.faults != nil {
+			dev := d
+			dev.faults.Observe = func(kind faults.Kind, proc string) {
+				s.mets.faults.With(dev.name, kind.String()).Inc()
+			}
+		}
 		s.wg.Add(1)
 		go s.worker(d)
 	}
@@ -179,6 +210,17 @@ func (s *Scheduler) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// AllDead reports whether every pool device is dead — the readiness probe
+// answers 503 once nothing can serve.
+func (s *Scheduler) AllDead() bool {
+	for _, d := range s.devices {
+		if d.health().State != healthDead {
+			return false
+		}
+	}
+	return true
 }
 
 // CacheStats aggregates the per-class plan caches (for /statusz).
@@ -281,6 +323,7 @@ func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Mode
 		model:     m,
 		modelName: modelName,
 		mech:      mech,
+		soc:       socClass,
 		rows:      rows,
 		enqueued:  time.Now(),
 		done:      make(chan outcome, 1),
@@ -298,7 +341,7 @@ func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Mode
 		return outcome{err: ErrQueueFull}
 	}
 	s.queued++
-	s.enqueueLocked(p, socClass)
+	s.enqueueLocked(p)
 	s.mu.Unlock()
 
 	select {
@@ -312,18 +355,76 @@ func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Mode
 	}
 }
 
-// worker drains one device's queue of dispatched batches sequentially.
+// worker drains one device's queue of dispatched batches sequentially. A
+// panic escaping a batch (a scheduler bug — injected kernel panics are
+// already recovered inside runBatchPaced) is converted to a DeviceError
+// and every unsettled member is failed over or settled, so one bad batch
+// can neither crash the server nor strand queue entries.
 func (s *Scheduler) worker(d *poolDevice) {
 	defer s.wg.Done()
 	for g := range d.queue {
-		s.serveBatch(d, g)
+		s.serveBatchSafe(d, g)
 	}
+}
+
+func (s *Scheduler) serveBatchSafe(d *poolDevice, g *batchGroup) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := &DeviceError{Device: d.name, Cause: fmt.Errorf("panic: %v", r)}
+			s.releaseGroup(d, g)
+			s.failMembers(d, g, err)
+		}
+	}()
+	s.serveBatch(d, g)
+}
+
+// settleLocked delivers a request's terminal outcome exactly once; it
+// returns false when someone settled the request already. Caller holds
+// s.mu.
+func (s *Scheduler) settleLocked(p *pending, out outcome) bool {
+	if p.settled {
+		return false
+	}
+	p.settled = true
+	s.queued--
+	p.done <- out
+	return true
+}
+
+// settleFinal settles p and records its terminal request metrics.
+func (s *Scheduler) settleFinal(d *poolDevice, p *pending, out outcome) {
+	s.mu.Lock()
+	ok := s.settleLocked(p, out)
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.mets.requests.With(p.modelName, d.class, p.mech.String(), fmt.Sprint(statusFor(out.err))).Inc()
+	if out.err == nil {
+		d.served.Add(1)
+		s.mets.simLat.With(p.modelName, d.class, p.mech.String()).Observe(out.simLat.Seconds())
+		s.mets.wallLat.With(p.modelName, d.class).Observe(time.Since(p.enqueued).Seconds())
+	}
+}
+
+// releaseGroup returns a dispatched group's backlog and depth charges to
+// its device, once, no matter how the batch ended (the worker's panic
+// recovery may run after a partial serveBatch).
+func (s *Scheduler) releaseGroup(d *poolDevice, g *batchGroup) {
+	if g.released {
+		return
+	}
+	g.released = true
+	d.backlogNS.Add(-int64(g.cost))
+	d.depth.Add(-int64(len(g.items)))
 }
 
 // serveBatch runs one dispatched batch on its device and settles every
 // member: already-dead members are dropped before the run (their rows
 // never touch the device), members whose deadline dies mid-batch get
 // their context error, and the rest share the fused execution's report.
+// A device failure (injected fault or recovered panic) settles nobody
+// directly — live members fail over through failMembers.
 func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 	outs := make([]outcome, len(g.items))
 	for i, p := range g.items {
@@ -346,6 +447,11 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 		}
 	}
 
+	var runErr error
+	if len(live) == 0 && g.probe {
+		// The probe batch produced no verdict; free the half-open slot.
+		d.revertProbe()
+	}
 	if len(live) > 0 {
 		fused := make([]exec.FusedItem, len(live))
 		for j, i := range live {
@@ -353,11 +459,19 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 		}
 		res, err := s.runBatchPaced(d, g, fused)
 		switch {
+		case err != nil && isDeviceFailure(err):
+			runErr = err
 		case err != nil:
+			if g.probe {
+				d.revertProbe()
+			}
 			for _, i := range live {
 				outs[i].err = err
 			}
 		default:
+			if recovered := d.recordSuccess(); recovered {
+				s.mets.quarantine.With(d.name, "recovered").Inc()
+			}
 			// res.Rows is what actually ran: members that died while
 			// queued never contributed rows to the fused panels.
 			for _, i := range live {
@@ -386,41 +500,164 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 		}
 	}
 
-	d.backlogNS.Add(-int64(g.cost))
-	d.depth.Add(-int64(len(g.items)))
-	s.mu.Lock()
-	s.queued -= len(g.items)
-	s.mu.Unlock()
+	s.releaseGroup(d, g)
 
-	for i, p := range g.items {
-		out := outs[i]
-		code := statusFor(out.err)
-		s.mets.requests.With(p.modelName, d.class, p.mech.String(), fmt.Sprint(code)).Inc()
-		if out.err == nil {
-			d.served.Add(1)
-			s.mets.simLat.With(p.modelName, d.class, p.mech.String()).Observe(out.simLat.Seconds())
-			s.mets.wallLat.With(p.modelName, d.class).Observe(time.Since(p.enqueued).Seconds())
+	if runErr != nil {
+		// Settle the members that never joined the run, then fail the rest
+		// over to other devices.
+		for i, p := range g.items {
+			if outs[i].err != nil {
+				s.settleFinal(d, p, outs[i])
+			}
 		}
-		p.done <- out
+		s.failMembers(d, g, runErr)
+		return
+	}
+	for i, p := range g.items {
+		s.settleFinal(d, p, outs[i])
 	}
 }
 
-// runBatchPaced executes the fused batch and, when pacing is enabled,
-// occupies the device for the batch's simulated makespan scaled by
-// TimeScale — so offered load saturates the pool the way it would
-// saturate the modeled hardware. Per-member deadlines ride inside the
-// fused run; only a drain hard-kill aborts the batch as a whole.
-func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.FusedItem) (*exec.FusedResult, error) {
+// failMembers handles one device failure: it advances the device's
+// circuit breaker (recording permanent processor deaths from Die faults)
+// and then requeues every unsettled member onto the remaining devices —
+// or settles it with a typed 503 when no retry can help (budget spent,
+// deadline too tight, no healthy device, draining). Nothing is dropped
+// silently: every member either requeues or settles here.
+func (s *Scheduler) failMembers(d *poolDevice, g *batchGroup, cause error) {
+	var f *faults.Fault
+	var permDown core.ProcSet
+	if errors.As(cause, &f) {
+		if f.Device == "" {
+			f.Device = d.name
+		}
+		if f.Kind == faults.Die {
+			permDown = procSetOfType(f.ProcType)
+		}
+	}
+	switch d.recordFailure(permDown, s.cfg.FailThreshold, s.cfg.QuarantineBackoff, s.cfg.QuarantineBackoffMax, time.Now()) {
+	case "dead":
+		s.mets.quarantine.With(d.name, "dead").Inc()
+	case "quarantined":
+		s.mets.quarantine.With(d.name, "quarantined").Inc()
+	case "degraded":
+		s.mets.quarantine.With(d.name, "degraded").Inc()
+	}
+
+	now := time.Now()
+	for _, p := range g.items {
+		s.mu.Lock()
+		if p.settled {
+			s.mu.Unlock()
+			continue
+		}
+		exclude := p.exclude | 1<<uint(d.id)
+		var terminal error
+		switch {
+		case p.ctx.Err() != nil:
+			terminal = p.ctx.Err()
+		case s.draining:
+			terminal = ErrDraining
+		case p.attempts >= s.cfg.MaxRetries:
+			terminal = fmt.Errorf("%w (after %d attempts): %w", ErrRetriesExhausted, p.attempts+1, cause)
+		default:
+			eligible, wall := s.retryCostLocked(p, exclude, now)
+			switch {
+			case !eligible:
+				terminal = fmt.Errorf("%w: %w", ErrNoHealthyDevice, cause)
+			case !deadlineAllows(p.ctx, wall, now):
+				terminal = fmt.Errorf("%w: %w", ErrDeadlineTooTight, cause)
+			}
+		}
+		if terminal != nil {
+			s.settleLocked(p, outcome{err: terminal, device: d.name, class: d.class})
+			s.mu.Unlock()
+			s.mets.requests.With(p.modelName, d.class, p.mech.String(), fmt.Sprint(statusFor(terminal))).Inc()
+			continue
+		}
+		p.attempts++
+		p.exclude = exclude
+		s.mets.retries.With(d.name).Inc()
+		s.requeueLocked(p)
+		s.mu.Unlock()
+	}
+}
+
+// retryCostLocked reports whether any device can take a retry of p under
+// the exclusion mask, and the cheapest predicted wall-clock completion
+// among them. Caller holds s.mu.
+func (s *Scheduler) retryCostLocked(p *pending, exclude uint64, now time.Time) (eligible bool, wall time.Duration) {
+	var best time.Duration
+	for _, d := range s.devices {
+		if p.soc != "" && d.class != p.soc {
+			continue
+		}
+		if exclude&(1<<uint(d.id)) != 0 || !d.canServe(now) {
+			continue
+		}
+		est, err := s.caches[d.class].Estimate(p.model, d.runCfg(p.mech), p.rows)
+		if err != nil {
+			continue
+		}
+		done := d.predictedCompletion() + est
+		if !eligible || done < best {
+			eligible, best = true, done
+		}
+	}
+	if s.cfg.TimeScale > 0 {
+		wall = time.Duration(float64(best) / s.cfg.TimeScale)
+	}
+	return eligible, wall
+}
+
+// deadlineAllows reports whether a retry predicted to take wall clock time
+// fits in the request's remaining deadline.
+func deadlineAllows(ctx context.Context, wall time.Duration, now time.Time) bool {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return true
+	}
+	return dl.Sub(now) > wall
+}
+
+// runBatchPaced executes the fused batch under the dispatch-time run
+// configuration (which carries the device's degraded-mode mask) and, when
+// pacing is enabled, occupies the device for the batch's simulated
+// makespan scaled by TimeScale — so offered load saturates the pool the
+// way it would saturate the modeled hardware. Per-member deadlines ride
+// inside the fused run; only a drain hard-kill aborts the batch as a
+// whole. The device's fault injector rides in as the executor's kernel
+// hook; an injected kernel panic is recovered here into a DeviceError so
+// the worker sees an ordinary device failure.
+func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.FusedItem) (res *exec.FusedResult, err error) {
 	s.mets.inflight.With(d.name).Add(1)
 	defer s.mets.inflight.With(d.name).Add(-1)
 
-	plan, err := s.caches[d.class].Plan(g.model, runCfg(g.key.mech))
+	plan, err := s.caches[d.class].Plan(g.model, g.rc)
 	if err != nil {
 		return nil, err
 	}
+	if g.rc.Unhealthy != 0 {
+		s.mets.degraded.With(d.name).Inc()
+	}
+	var opts core.ExecOpts
+	if d.faults != nil {
+		opts.Faults = d.faults.Kernel
+	}
 	start := time.Now()
-	res, err := d.rt.RunBatchPlan(g.model, plan, fused, runCfg(g.key.mech))
+	res, err = func() (r *exec.FusedResult, e error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				r, e = nil, &DeviceError{Device: d.name, Cause: fmt.Errorf("panic: %v", rec)}
+			}
+		}()
+		return d.rt.RunBatchPlanOpts(g.model, plan, fused, g.rc, opts)
+	}()
 	if err != nil {
+		var f *faults.Fault
+		if errors.As(err, &f) && f.Device == "" {
+			f.Device = d.name
+		}
 		return nil, err
 	}
 	if s.cfg.TimeScale > 0 {
@@ -479,7 +716,9 @@ func statusFor(err error) int {
 	switch {
 	case err == nil:
 		return 200
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining),
+		errors.Is(err, ErrRetriesExhausted), errors.Is(err, ErrDeadlineTooTight),
+		errors.Is(err, ErrNoHealthyDevice):
 		return 503
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return 504

@@ -68,6 +68,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -313,13 +314,55 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is the liveness probe: the process is up and able to
+// answer HTTP. It stays 200 while draining or degraded — readiness
+// (/readyz) carries those states, so an orchestrator restarts the process
+// only when it is actually wedged, not while it sheds load.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !s.healthy.Load() || s.sched.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
-	}
 	fmt.Fprintln(w, "ok")
+}
+
+// readyzDevice is one device's health row in /readyz.
+type readyzDevice struct {
+	Device string `json:"device"`
+	SoC    string `json:"soc"`
+	// Health is ok | quarantined | probing | dead.
+	Health string `json:"health"`
+	// Down lists permanently dead processors ("none" when whole).
+	Down string `json:"down"`
+}
+
+// handleReadyz is the readiness probe: 503 while draining and 503 once
+// every pool device is dead; otherwise 200. The body always carries the
+// per-device health so an operator can see a partial outage before it
+// becomes a total one.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := !s.healthy.Load() || s.sched.Draining()
+	allDead := s.sched.AllDead()
+	out := struct {
+		Ready    bool           `json:"ready"`
+		Draining bool           `json:"draining"`
+		AllDead  bool           `json:"all_dead"`
+		Devices  []readyzDevice `json:"devices"`
+	}{
+		Ready:    !draining && !allDead,
+		Draining: draining,
+		AllDead:  allDead,
+	}
+	for _, d := range s.sched.Devices() {
+		h := d.health()
+		out.Devices = append(out.Devices, readyzDevice{
+			Device: d.name,
+			SoC:    d.class,
+			Health: h.State.String(),
+			Down:   h.Down.String(),
+		})
+	}
+	code := http.StatusOK
+	if !out.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, out)
 }
 
 // deviceStatus is one device's row in /statusz.
@@ -329,6 +372,15 @@ type deviceStatus struct {
 	Queued    int64   `json:"queued"`
 	BacklogMS float64 `json:"backlog_ms"`
 	Served    int64   `json:"served"`
+	// Health is ok | quarantined | probing | dead; Down lists permanently
+	// dead processors; Failures is the consecutive-failure count feeding
+	// the circuit breaker.
+	Health   string `json:"health"`
+	Down     string `json:"down"`
+	Failures int    `json:"failures"`
+	// FaultsInjected is the device injector's non-None decision count
+	// (absent without injection).
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -354,13 +406,21 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		PlanCache:   s.sched.CacheStats(),
 	}
 	for _, d := range devs {
-		out.Devices = append(out.Devices, deviceStatus{
+		h := d.health()
+		row := deviceStatus{
 			Device:    d.name,
 			SoC:       d.class,
 			Queued:    d.depth.Load(),
 			BacklogMS: float64(d.predictedCompletion()) / float64(time.Millisecond),
 			Served:    d.served.Load(),
-		})
+			Health:    h.State.String(),
+			Down:      h.Down.String(),
+			Failures:  h.Failures,
+		}
+		if d.faults != nil {
+			row.FaultsInjected = d.faults.Stats().Injected()
+		}
+		out.Devices = append(out.Devices, row)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

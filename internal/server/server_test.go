@@ -290,25 +290,59 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
-// TestHealthzDraining verifies the health endpoint flips once draining.
-func TestHealthzDraining(t *testing.T) {
+// TestReadyzDraining verifies the liveness/readiness split while
+// draining: readiness flips to 503, liveness stays 200.
+func TestReadyzDraining(t *testing.T) {
 	s, ts := newTestServer(t, Config{
 		SoCs:       []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
 		QueueDepth: 8,
 	})
+	// Before draining: both probes pass and readyz lists device health.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rz struct {
+		Ready   bool `json:"ready"`
+		Devices []struct {
+			Health string `json:"health"`
+			Down   string `json:"down"`
+		} `json:"devices"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !rz.Ready {
+		t.Fatalf("readyz before drain: %d %+v", resp.StatusCode, rz)
+	}
+	if len(rz.Devices) != 1 || rz.Devices[0].Health != "ok" || rz.Devices[0].Down != "none" {
+		t.Fatalf("readyz devices %+v", rz.Devices)
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := s.sched.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
+	// Liveness stays 200 while draining (the process is fine).
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", resp.StatusCode)
+	}
+	// Readiness flips.
+	resp, err = http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	data, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(data), "draining") {
-		t.Fatalf("healthz while draining: %d %q", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(data), `"draining":true`) {
+		t.Fatalf("readyz while draining: %d %q", resp.StatusCode, data)
 	}
 	// Infer while draining also answers 503.
 	resp2, _ := postInfer(t, ts.URL, InferRequest{Model: "lenet5"})
