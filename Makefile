@@ -5,6 +5,7 @@
 #   make race        race-enabled test run
 #   make cover       coverage gate for the serving subsystem
 #   make chaos-smoke seeded fault-injection run under the race detector
+#   make trace-smoke end-to-end tracing/observability run under the race detector
 #   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
 #   make serve       run the inference server on :8080
 #   make load        drive a running server at 50 qps for 10s
@@ -17,9 +18,9 @@ FUZZTIME ?= 10s
 # (measured 82.5% when the gate was introduced).
 COVER_FLOOR ?= 75
 
-.PHONY: ci build vet test race cover chaos-smoke fuzz-smoke serve load
+.PHONY: ci build vet test race cover chaos-smoke trace-smoke fuzz-smoke serve load
 
-ci: build vet race cover chaos-smoke fuzz-smoke
+ci: build vet race cover chaos-smoke trace-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +48,12 @@ cover:
 # queue entry, or leaked goroutine.
 chaos-smoke:
 	$(GO) test ./internal/server -race -count=1 -run='^TestChaosSeededFaults$$' -v
+
+# Traced load against a live pool under the race detector: checks the
+# /debug/traces ring, a Perfetto-loadable Chrome trace with per-layer
+# kernel spans, the predictor-drift histogram, and /statusz summaries.
+trace-smoke:
+	$(GO) test ./internal/server -race -count=1 -run='^TestTraceSmokeServeLoad$$' -v
 
 # Go only accepts one -fuzz pattern per invocation, so smoke each target
 # separately; -run=^$ skips the regular tests on each pass.

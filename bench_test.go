@@ -6,12 +6,21 @@
 package mulayer_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"mulayer"
 	"mulayer/internal/experiments"
+	"mulayer/internal/server"
+	"mulayer/internal/soc"
 )
 
 var (
@@ -187,6 +196,49 @@ func BenchmarkMuLayerInference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchServing times one request through the full serving path (HTTP →
+// admission → scheduler → fused execution) under the given config.
+func benchServing(b *testing.B, cfg server.Config) {
+	cfg.SoCs = []server.SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 2}}
+	s, err := server.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	body, _ := json.Marshal(server.InferRequest{Model: "lenet5", Mechanism: "mulayer"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkServing is the tracing-off serving baseline: the executor's
+// trace hook is nil and the head sampler is disabled, so this must not
+// regress when tracing features land.
+func BenchmarkServing(b *testing.B) {
+	benchServing(b, server.Config{})
+}
+
+// BenchmarkServingTraced measures the fully-traced path (every request
+// sampled into the ring) for comparison against BenchmarkServing.
+func BenchmarkServingTraced(b *testing.B) {
+	benchServing(b, server.Config{TraceSample: 1})
 }
 
 // BenchmarkPlanOnly times plan construction (partitioner + predictor) for

@@ -43,8 +43,11 @@ type inferRequest struct {
 
 type sample struct {
 	wall time.Duration
-	code int
-	err  bool
+	// queueWait is the server-reported admission-to-dispatch wait (200s
+	// only) — printed as the same percentile summary /statusz serves.
+	queueWait time.Duration
+	code      int
+	err       bool
 }
 
 func percentile(sorted []time.Duration, q float64) time.Duration {
@@ -108,9 +111,17 @@ func main() {
 		if err != nil {
 			s.err = true
 		} else {
-			io.Copy(io.Discard, resp.Body)
+			data, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			s.code = resp.StatusCode
+			if s.code == http.StatusOK {
+				var rep struct {
+					QueueWaitUS float64 `json:"queue_wait_us"`
+				}
+				if json.Unmarshal(data, &rep) == nil {
+					s.queueWait = time.Duration(rep.QueueWaitUS * float64(time.Microsecond))
+				}
+			}
 		}
 		mu.Lock()
 		samples = append(samples, s)
@@ -133,7 +144,7 @@ func main() {
 
 	byCode := map[int]int{}
 	var netErrs int
-	var okLat []time.Duration
+	var okLat, okWait []time.Duration
 	for _, s := range samples {
 		if s.err {
 			netErrs++
@@ -142,9 +153,11 @@ func main() {
 		byCode[s.code]++
 		if s.code == http.StatusOK {
 			okLat = append(okLat, s.wall)
+			okWait = append(okWait, s.queueWait)
 		}
 	}
 	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	sort.Slice(okWait, func(i, j int) bool { return okWait[i] < okWait[j] })
 
 	fmt.Printf("sent          %d in %v (offered %.1f qps)\n", sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
 	fmt.Printf("completed 2xx %d (%.1f qps goodput, %.1f rows/s)\n",
@@ -163,10 +176,17 @@ func main() {
 		fmt.Printf("transport err %d\n", netErrs)
 	}
 	if len(okLat) > 0 {
-		fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+		// Same p50/p95/p99 summary the server exposes in /statusz, so a
+		// load run and a status scrape line up.
+		fmt.Printf("latency    p50=%v p95=%v p99=%v max=%v\n",
 			percentile(okLat, 0.50).Round(time.Microsecond),
-			percentile(okLat, 0.90).Round(time.Microsecond),
+			percentile(okLat, 0.95).Round(time.Microsecond),
 			percentile(okLat, 0.99).Round(time.Microsecond),
 			okLat[len(okLat)-1].Round(time.Microsecond))
+		fmt.Printf("queue-wait p50=%v p95=%v p99=%v max=%v\n",
+			percentile(okWait, 0.50).Round(time.Microsecond),
+			percentile(okWait, 0.95).Round(time.Microsecond),
+			percentile(okWait, 0.99).Round(time.Microsecond),
+			okWait[len(okWait)-1].Round(time.Microsecond))
 	}
 }

@@ -18,8 +18,19 @@
 //	GET  /v1/models   loaded models, mechanisms, SoC classes
 //	GET  /healthz     liveness (always ok while the process runs)
 //	GET  /readyz      readiness: 503 while draining or all devices dead; per-device health
-//	GET  /statusz     queue/backlog/served/health per device (JSON)
+//	GET  /statusz     queue/backlog/served/health per device, latency
+//	                  percentiles, predictor drift, tracing state (JSON)
 //	GET  /metrics     Prometheus text format
+//	GET  /debug/traces       index of recent request traces (JSON)
+//	GET  /debug/traces/{id}  one trace, Chrome Trace Event Format (Perfetto)
+//
+// With -trace-sample F the server records every Fth-fraction request's
+// span tree (admission → batch window → device queue → plan → execute,
+// plus per-kernel simulated-time spans) into a bounded ring served at
+// /debug/traces; -trace-slow D additionally captures and logs any request
+// slower than D regardless of sampling; -trace-ring N bounds the ring.
+// -debug-addr :6060 serves net/http/pprof on a separate listener. See
+// docs/observability.md.
 //
 // With -timescale T each device stays busy for simulatedLatency/T of wall
 // time per inference, so offered load saturates the pool the way it would
@@ -47,6 +58,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -107,6 +120,10 @@ func main() {
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive device failures before quarantine")
 	quarBackoff := flag.Duration("quarantine-backoff", 2*time.Second, "first quarantine duration (doubles per re-quarantine, capped at 30s)")
 	maxRetries := flag.Int("max-retries", 2, "failover retries per request after a device failure (negative = none)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests traced into /debug/traces (0 = off, 1 = all)")
+	traceSlow := flag.Duration("trace-slow", 0, "always trace and log requests slower than this wall latency (0 = off)")
+	traceRing := flag.Int("trace-ring", 64, "in-memory ring capacity of recent traces")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof profiling endpoints (empty = off)")
 	flag.Parse()
 
 	specs, err := parseSoCs(*socs, *workers)
@@ -132,9 +149,29 @@ func main() {
 		FailThreshold:     *failThreshold,
 		QuarantineBackoff: *quarBackoff,
 		MaxRetries:        *maxRetries,
+		TraceSample:       *traceSample,
+		TraceSlow:         *traceSlow,
+		TraceRing:         *traceRing,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own mux and port: profiling stays reachable under
+		// load shedding and is never exposed on the serving address.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -31,6 +31,11 @@ type ExecOpts struct {
 	// exec.Config.FaultHook. The serving layer installs a fault injector
 	// here; cost estimation always runs with a nil hook.
 	Faults exec.FaultHook
+	// Trace, when non-nil, observes every booked kernel; see
+	// exec.Config.TraceHook. The serving layer installs a per-batch kernel
+	// recorder here when a batch member is traced; cost estimation always
+	// runs with a nil hook.
+	Trace exec.TraceHook
 }
 
 // RunBatchPlan is RunBatch under a previously built plan — the serving
@@ -63,6 +68,7 @@ func (rt *Runtime) RunBatchPlanOpts(m *models.Model, plan *partition.Plan, items
 		AsyncIssue:  !rc.DisableAsyncIssue,
 		ZeroCopy:    !rc.DisableZeroCopy,
 		FaultHook:   opts.Faults,
+		TraceHook:   opts.Trace,
 	}
 	return exec.RunFused(m.Graph, plan, items, cfg)
 }

@@ -183,3 +183,25 @@ func TestPlanCacheMemoizes(t *testing.T) {
 		t.Fatal("unknown mechanism must fail through the cache")
 	}
 }
+
+// TestPlanCachedHitState: PlanCached reports a miss on a fresh key and a
+// hit afterwards, returning the same cached plan either way.
+func TestPlanCachedHitState(t *testing.T) {
+	c := NewPlanCache(newRT(t))
+	m, err := models.LeNet5(models.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Mechanism: MechMuLayer}
+	p1, hit, err := c.PlanCached(m, rc)
+	if err != nil || hit {
+		t.Fatalf("fresh key: hit=%v err=%v, want miss", hit, err)
+	}
+	p2, hit, err := c.PlanCached(m, rc)
+	if err != nil || !hit {
+		t.Fatalf("repeat key: hit=%v err=%v, want hit", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("PlanCached returned different plans for one key")
+	}
+}

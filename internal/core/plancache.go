@@ -78,13 +78,23 @@ func (c *PlanCache) entry(m *models.Model, rc RunConfig) (*planEntry, error) {
 // Plan returns the cached plan for (m, rc), running the partitioner on the
 // first request for the key.
 func (c *PlanCache) Plan(m *models.Model, rc RunConfig) (*partition.Plan, error) {
+	p, _, err := c.PlanCached(m, rc)
+	return p, err
+}
+
+// PlanCached is Plan plus a hit indicator: hit is true when the plan was
+// already cached (no partitioner run). The tracing layer records it as a
+// plan-lookup span attribute.
+func (c *PlanCache) PlanCached(m *models.Model, rc RunConfig) (plan *partition.Plan, hit bool, err error) {
+	key := planKey{model: m.Name, rc: cacheRC(rc)}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	_, hit = c.entries[key]
 	e, err := c.entry(m, rc)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return e.plan, nil
+	return e.plan, hit, nil
 }
 
 // Estimate returns the predicted makespan of a fused batch of rows rows

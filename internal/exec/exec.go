@@ -59,12 +59,51 @@ type Config struct {
 	// end of the current plan step with that error. The nil hook costs
 	// nothing — the healthy serving path never pays for fault injection.
 	FaultHook FaultHook
+	// TraceHook, when non-nil, observes every kernel the executor books
+	// on the simulated timeline (internal/server builds per-request
+	// traces and predictor-drift telemetry from it). Like FaultHook, the
+	// nil hook costs nothing: untraced requests never pay for tracing.
+	TraceHook TraceHook
 }
 
 // FaultHook intercepts one scheduled kernel: it receives the processor,
 // the kernel label, and the predicted duration, and returns the duration
 // to charge plus an optional error that fails the run.
 type FaultHook func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error)
+
+// TraceEvent describes one kernel the executor booked on the simulated
+// timeline.
+type TraceEvent struct {
+	Proc  *device.Processor
+	Side  partition.Proc
+	Label string
+	Kind  nn.OpKind
+	Node  graph.NodeID
+	// Start/End bound the booked timeline interval; they include the
+	// kernel launch overhead and any injected stall.
+	Start time.Duration
+	End   time.Duration
+	// KernelDur is the cost model's pure kernel time for this share,
+	// launch overhead excluded. Predictor-drift telemetry compares it
+	// against a predictor estimate of the same quantity.
+	KernelDur time.Duration
+	// P is the share of the layer's split channels this kernel computed
+	// (1 for whole-layer execution).
+	P float64
+	// Rows is the fused row count carried by the kernel's panels.
+	Rows int
+	// Cost is the full batch-scaled layer cost (all shares together); a
+	// predictor estimates this kernel as PredictSplit(Cost, P).
+	Cost nn.Cost
+	// DType and Converted identify the processor's compute pipeline,
+	// matching the latency predictor's model key.
+	DType     tensor.DataType
+	Converted bool
+}
+
+// TraceHook observes one booked kernel. Implementations must be cheap
+// and must not retain the event's Proc pointer beyond the call.
+type TraceHook func(TraceEvent)
 
 // DefaultConfig returns the μLayer production configuration for a SoC.
 func DefaultConfig(s *soc.SoC) Config {
@@ -158,6 +197,18 @@ func (r *runner) schedule(p *device.Processor, label string, ready, dur time.Dur
 		}
 	}
 	return r.tl.Schedule(p.Name, label, ready, dur, energyPJ)
+}
+
+// traceKernel reports one booked kernel to the trace hook. Callers guard
+// on r.cfg.TraceHook != nil so untraced runs pay nothing.
+func (r *runner) traceKernel(p *device.Processor, side partition.Proc, label string, kind nn.OpKind,
+	node graph.NodeID, start, end, kernelDur time.Duration, share float64, cost nn.Cost) {
+	r.cfg.TraceHook(TraceEvent{
+		Proc: p, Side: side, Label: label, Kind: kind, Node: node,
+		Start: start, End: end, KernelDur: kernelDur,
+		P: share, Rows: r.batch, Cost: cost,
+		DType: r.cfg.Pipe.ComputeType(side), Converted: r.cfg.Pipe.Converted(side),
+	})
 }
 
 // newRunner prepares per-inference state over a (possibly shared)
@@ -457,11 +508,15 @@ func (r *runner) runWhole(id graph.NodeID, p partition.Proc, chargeLaunch bool, 
 	}
 	proc := r.proc(p)
 	w := r.sideWork(p, n.Layer.Kind(), cost, 0)
-	dur := proc.KernelTime(w)
+	kernelDur := proc.KernelTime(w)
+	dur := kernelDur
 	if chargeLaunch {
 		dur += proc.LaunchOverhead
 	}
-	_, end := r.schedule(proc, n.Layer.Name(), ready, dur, proc.KernelEnergyPJ(w))
+	start, end := r.schedule(proc, n.Layer.Name(), ready, dur, proc.KernelEnergyPJ(w))
+	if r.cfg.TraceHook != nil {
+		r.traceKernel(proc, p, n.Layer.Name(), n.Layer.Kind(), id, start, end, kernelDur, 1, cost)
+	}
 	r.launches++
 	r.dramBytes += w.MovedBytes
 	r.ready[id] = end
@@ -533,8 +588,12 @@ func (r *runner) runLayer(id graph.NodeID, p float64) {
 		gpuDur = gpuK
 		gpuReady = ready + gpu.LaunchOverhead
 	}
-	_, cpuEnd := r.schedule(cpu, n.Layer.Name()+"[cpu]", ready, cpuDur, cpu.KernelEnergyPJ(cw))
-	_, gpuEnd := r.schedule(gpu, n.Layer.Name()+"[gpu]", gpuReady, gpuDur, gpu.KernelEnergyPJ(gw))
+	cpuStart, cpuEnd := r.schedule(cpu, n.Layer.Name()+"[cpu]", ready, cpuDur, cpu.KernelEnergyPJ(cw))
+	gpuStart, gpuEnd := r.schedule(gpu, n.Layer.Name()+"[gpu]", gpuReady, gpuDur, gpu.KernelEnergyPJ(gw))
+	if r.cfg.TraceHook != nil {
+		r.traceKernel(cpu, partition.ProcCPU, n.Layer.Name()+"[cpu]", kind, id, cpuStart, cpuEnd, cpuK, pEff, cost)
+		r.traceKernel(gpu, partition.ProcGPU, n.Layer.Name()+"[gpu]", kind, id, gpuStart, gpuEnd, gpuK, 1-pEff, cost)
+	}
 	r.launches += 2
 	r.dramBytes += cw.MovedBytes + gw.MovedBytes
 

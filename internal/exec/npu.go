@@ -58,7 +58,8 @@ func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
 		share := float64(ch) / float64(c)
 		proc := r.proc(p)
 		w := r.sideWork(p, kind, cost.Scale(share), ch)
-		dur := proc.LaunchOverhead + proc.KernelTime(w)
+		kernelDur := proc.KernelTime(w)
+		dur := proc.LaunchOverhead + kernelDur
 		start := ready
 		if !r.cfg.AsyncIssue && p != partition.ProcCPU {
 			issueStall += proc.LaunchOverhead
@@ -66,7 +67,11 @@ func (r *runner) runLayer3(id graph.NodeID, pCPU, pNPU float64) {
 		if p == partition.ProcCPU {
 			dur += issueStall
 		}
-		_, e := r.schedule(proc, n.Layer.Name()+"["+procSuffix(p)+"]", start, dur, proc.KernelEnergyPJ(w))
+		label := n.Layer.Name() + "[" + procSuffix(p) + "]"
+		s, e := r.schedule(proc, label, start, dur, proc.KernelEnergyPJ(w))
+		if r.cfg.TraceHook != nil {
+			r.traceKernel(proc, p, label, kind, id, s, e, kernelDur, share, cost)
+		}
 		r.launches++
 		r.dramBytes += w.MovedBytes
 		if e > end {

@@ -42,6 +42,9 @@ type batchGroup struct {
 	// winning device's degraded-mode mask, so the worker executes exactly
 	// the plan the dispatcher costed.
 	rc core.RunConfig
+	// dispatched is when the window sealed and the group was handed to a
+	// device queue (stamps the batch-window → device-queue trace boundary).
+	dispatched time.Time
 	// probe marks the batch as a quarantined device's half-open probe.
 	probe bool
 	// released flips when the group's backlog/depth charges are returned;
@@ -103,6 +106,7 @@ func (s *Scheduler) dispatchLocked(g *batchGroup) {
 	s.mets.windowWait.With(g.key.model).Observe(time.Since(g.opened).Seconds())
 
 	now := time.Now()
+	g.dispatched = now
 	var best *poolDevice
 	var bestRC core.RunConfig
 	var bestCost, bestDone time.Duration

@@ -15,6 +15,8 @@ package server
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"mulayer/internal/faults"
@@ -100,6 +102,29 @@ type Config struct {
 	// another device after a device failure (default 2; negative disables
 	// retries).
 	MaxRetries int
+
+	// TraceSample enables request tracing: the fraction of requests
+	// (0..1] captured into the in-memory trace ring served at
+	// /debug/traces. Sampling is deterministic 1-in-round(1/fraction).
+	// 0 disables sampled capture.
+	TraceSample float64
+	// TraceSlow, when > 0, always captures the trace of a request whose
+	// wall latency exceeds it — regardless of sampling — and emits a
+	// structured slow-request log line to SlowLog. Tracing as a whole is
+	// active when TraceSample > 0 or TraceSlow > 0; with both zero the
+	// executor's trace hook stays nil and requests pay nothing.
+	TraceSlow time.Duration
+	// TraceRing bounds the in-memory ring of recent traces (default 64
+	// when tracing is active).
+	TraceRing int
+	// SlowLog receives slow-request log lines, one JSON object per line
+	// (default os.Stderr).
+	SlowLog io.Writer
+}
+
+// tracingEnabled reports whether requests record traces at all.
+func (c Config) tracingEnabled() bool {
+	return c.TraceSample > 0 || c.TraceSlow > 0
 }
 
 // withDefaults fills zero fields.
@@ -194,6 +219,18 @@ func (c Config) withDefaults() (Config, error) {
 		c.MaxRetries = 2
 	case c.MaxRetries < 0:
 		c.MaxRetries = 0
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return c, fmt.Errorf("server: trace sample %v outside [0, 1]", c.TraceSample)
+	}
+	if c.TraceSlow < 0 {
+		return c, fmt.Errorf("server: negative trace-slow threshold %v", c.TraceSlow)
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 64
+	}
+	if c.SlowLog == nil {
+		c.SlowLog = os.Stderr
 	}
 	return c, nil
 }

@@ -355,6 +355,20 @@ func NewHistogramVec(r *Registry, name, help string, bounds []float64, labels ..
 // With returns the child histogram for the given label values.
 func (h *HistogramVec) With(values ...string) *Histogram { return h.v.with(values) }
 
+// LabelNames returns the family's label names in declaration order.
+func (h *HistogramVec) LabelNames() []string {
+	out := make([]string, len(h.v.labels))
+	copy(out, h.v.labels)
+	return out
+}
+
+// Snapshot returns the family's children as (labelValues, histogram)
+// pairs sorted by label key — the /statusz path to quantile summaries
+// without a Prometheus scrape.
+func (h *HistogramVec) Snapshot() ([][]string, []*Histogram) {
+	return h.v.snapshot()
+}
+
 func (h *HistogramVec) name() string { return h.nm }
 func (h *HistogramVec) help() string { return h.hp }
 func (h *HistogramVec) kind() string { return "histogram" }
@@ -393,6 +407,14 @@ func OccupancyBuckets() []float64 {
 		out = append(out, v)
 	}
 	return out
+}
+
+// RatioBuckets is a bucket layout for predicted/actual ratio histograms,
+// dense around 1.0 (an exact predictor) and widening geometrically toward
+// 8× under- and over-estimation.
+func RatioBuckets() []float64 {
+	return []float64{0.125, 0.25, 0.5, 0.7, 0.8, 0.9, 0.95,
+		1.05, 1.1, 1.25, 1.5, 2, 4, 8}
 }
 
 // DurationSeconds converts a time.Duration to seconds for Observe.

@@ -140,3 +140,55 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	render(r) // must not race with writers
 }
+
+func TestHistogramVecSnapshotAndLabels(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogramVec(r, "drift", "predicted/actual", RatioBuckets(), "proc", "kind")
+	h.With("CPU", "conv").Observe(0.9)
+	h.With("CPU", "conv").Observe(1.2)
+	h.With("GPU", "fc").Observe(1.0)
+
+	if names := h.LabelNames(); len(names) != 2 || names[0] != "proc" || names[1] != "kind" {
+		t.Fatalf("LabelNames = %v", names)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the vec.
+	h.LabelNames()[0] = "corrupted"
+	if h.LabelNames()[0] != "proc" {
+		t.Fatal("LabelNames returned the internal slice")
+	}
+
+	vals, hists := h.Snapshot()
+	if len(vals) != 2 || len(hists) != 2 {
+		t.Fatalf("Snapshot returned %d children, want 2", len(vals))
+	}
+	// Sorted by label key: CPU before GPU.
+	if vals[0][0] != "CPU" || vals[0][1] != "conv" || vals[1][0] != "GPU" {
+		t.Fatalf("Snapshot label values = %v", vals)
+	}
+	if hists[0].Count() != 2 || hists[1].Count() != 1 {
+		t.Fatalf("Snapshot counts = %d, %d", hists[0].Count(), hists[1].Count())
+	}
+}
+
+func TestRatioBuckets(t *testing.T) {
+	b := RatioBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("RatioBuckets not ascending at %d: %v", i, b)
+		}
+	}
+	// 1.0 must fall between two finite bounds so an exact predictor is
+	// distinguishable from gross drift.
+	below, above := false, false
+	for _, v := range b {
+		if v < 1 {
+			below = true
+		}
+		if v > 1 {
+			above = true
+		}
+	}
+	if !below || !above {
+		t.Fatalf("RatioBuckets must straddle 1.0: %v", b)
+	}
+}

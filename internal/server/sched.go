@@ -13,6 +13,7 @@ import (
 	"mulayer/internal/faults"
 	"mulayer/internal/models"
 	"mulayer/internal/server/metrics"
+	"mulayer/internal/trace"
 )
 
 // Admission errors, mapped to HTTP statuses by the handler.
@@ -37,6 +38,10 @@ type pending struct {
 	rows      int    // rows this request contributes to its batch (≥1)
 	enqueued  time.Time
 	done      chan outcome // buffered(1): the worker never blocks on it
+	// tr is the request's trace (nil when tracing is off). The handler
+	// owns creation and finish; the serving worker records stage and
+	// kernel spans on it through the trace's own mutex.
+	tr *trace.Trace
 
 	// attempts counts device failures this request survived; exclude is
 	// the bitmask of device ids those failures occurred on. Guarded by
@@ -106,6 +111,7 @@ type schedMetrics struct {
 	retries    *metrics.CounterVec   // device (the one that failed)
 	quarantine *metrics.CounterVec   // device, transition
 	degraded   *metrics.CounterVec   // device
+	predErr    *metrics.HistogramVec // proc, kind, mechanism
 }
 
 func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
@@ -138,6 +144,10 @@ func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
 			"Device circuit-breaker transitions.", "device", "transition"),
 		degraded: metrics.NewCounterVec(reg, "mulayer_degraded_batches_total",
 			"Batches executed under a degraded (processor-down) plan.", "device"),
+		predErr: metrics.NewHistogramVec(reg, "mulayer_predictor_error_ratio",
+			"Latency predictor drift: predicted/actual kernel time per processor and layer kind "+
+				"(proc \"all\", kind \"network\" rows compare whole-request makespans).",
+			metrics.RatioBuckets(), "proc", "kind", "mechanism"),
 	}
 }
 
@@ -293,6 +303,13 @@ func (s *Scheduler) RetryAfter() int {
 // ErrDraining, ErrNoDevice), deadline expiry (the context error), and
 // planner errors.
 func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string, rows int) outcome {
+	return s.SubmitTraced(ctx, modelName, m, mech, socClass, rows, nil)
+}
+
+// SubmitTraced is Submit with a request trace attached (nil for none):
+// the serving path records queue, batch-window, plan, and kernel spans on
+// it as the request moves through the scheduler.
+func (s *Scheduler) SubmitTraced(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string, rows int, tr *trace.Trace) outcome {
 	if rows < 1 {
 		rows = 1
 	}
@@ -327,6 +344,7 @@ func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Mode
 		rows:      rows,
 		enqueued:  time.Now(),
 		done:      make(chan outcome, 1),
+		tr:        tr,
 	}
 
 	s.mu.Lock()
@@ -426,11 +444,22 @@ func (s *Scheduler) releaseGroup(d *poolDevice, g *batchGroup) {
 // A device failure (injected fault or recovered panic) settles nobody
 // directly — live members fail over through failMembers.
 func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
+	serveStart := time.Now()
 	outs := make([]outcome, len(g.items))
 	for i, p := range g.items {
-		wait := time.Since(p.enqueued)
+		wait := serveStart.Sub(p.enqueued)
 		s.mets.queueWait.With(d.class).Observe(wait.Seconds())
 		outs[i] = outcome{device: d.name, class: d.class, queueWait: wait}
+		if p.tr != nil {
+			// Two wall-clock stages per attempt: the open batching window
+			// (admission to seal) and the sealed batch waiting for its
+			// device worker.
+			p.tr.SetDevice(d.name)
+			p.tr.Add("batch-window", 0, p.tr.Offset(p.enqueued), p.tr.Offset(g.dispatched),
+				trace.Attr{Key: "attempt", Val: p.attempts})
+			p.tr.Add("device-queue", 0, p.tr.Offset(g.dispatched), p.tr.Offset(serveStart),
+				trace.Attr{Key: "device", Val: d.name})
+		}
 	}
 
 	var live []int // indices into g.items joining the fused run
@@ -454,10 +483,14 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 	}
 	if len(live) > 0 {
 		fused := make([]exec.FusedItem, len(live))
+		var traced []*trace.Trace
 		for j, i := range live {
 			fused[j] = exec.FusedItem{Ctx: g.items[i].ctx, Rows: g.items[i].rows}
+			if tr := g.items[i].tr; tr != nil {
+				traced = append(traced, tr)
+			}
 		}
-		res, err := s.runBatchPaced(d, g, fused)
+		res, err := s.runBatchPaced(d, g, fused, traced)
 		switch {
 		case err != nil && isDeviceFailure(err):
 			runErr = err
@@ -629,13 +662,27 @@ func deadlineAllows(ctx context.Context, wall time.Duration, now time.Time) bool
 // whole. The device's fault injector rides in as the executor's kernel
 // hook; an injected kernel panic is recovered here into a DeviceError so
 // the worker sees an ordinary device failure.
-func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.FusedItem) (res *exec.FusedResult, err error) {
+func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.FusedItem, traced []*trace.Trace) (res *exec.FusedResult, err error) {
 	s.mets.inflight.With(d.name).Add(1)
 	defer s.mets.inflight.With(d.name).Add(-1)
 
-	plan, err := s.caches[d.class].Plan(g.model, g.rc)
+	planStart := time.Now()
+	plan, planHit, err := s.caches[d.class].PlanCached(g.model, g.rc)
 	if err != nil {
 		return nil, err
+	}
+	if len(traced) > 0 {
+		planEnd := time.Now()
+		sum := plan.Summary()
+		for _, tr := range traced {
+			tr.Add("plan", 0, tr.Offset(planStart), tr.Offset(planEnd),
+				trace.Attr{Key: "cache_hit", Val: planHit},
+				trace.Attr{Key: "steps", Val: sum.Steps},
+				trace.Attr{Key: "split_layers", Val: sum.SplitLayers},
+				trace.Attr{Key: "mean_p", Val: sum.MeanP},
+				trace.Attr{Key: "branches", Val: sum.BranchMap()},
+				trace.Attr{Key: "predicted_us", Val: float64(plan.Predicted) / float64(time.Microsecond)})
+		}
 	}
 	if g.rc.Unhealthy != 0 {
 		s.mets.degraded.With(d.name).Inc()
@@ -643,6 +690,30 @@ func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.Fus
 	var opts core.ExecOpts
 	if d.faults != nil {
 		opts.Faults = d.faults.Kernel
+	}
+	// With traced members aboard, the executor's trace hook records every
+	// booked kernel into one shared capture (the worker is the only
+	// goroutine appending) and feeds the predictor-drift histogram: the
+	// partitioner-style estimate PredictSplit(layer cost, share) against
+	// the cost model's pure kernel time, launch overhead excluded on both
+	// sides.
+	var capture *trace.Capture
+	if len(traced) > 0 {
+		capture = &trace.Capture{Device: d.name}
+		pred := d.rt.Predictor()
+		mechName := g.key.mech.String()
+		opts.Trace = func(ev exec.TraceEvent) {
+			predicted := pred.PredictSplit(ev.Proc.Name, ev.Kind, ev.DType, ev.Converted, ev.Cost, ev.P)
+			if ev.KernelDur > 0 {
+				s.mets.predErr.With(ev.Side.String(), ev.Kind.String(), mechName).
+					Observe(float64(predicted) / float64(ev.KernelDur))
+			}
+			capture.Spans = append(capture.Spans, trace.KernelSpan{
+				Proc: ev.Proc.Name, Side: ev.Side.String(), Label: ev.Label,
+				Kind: ev.Kind.String(), Start: ev.Start, End: ev.End,
+				P: ev.P, Rows: ev.Rows, Predicted: predicted, Actual: ev.KernelDur,
+			})
+		}
 	}
 	start := time.Now()
 	res, err = func() (r *exec.FusedResult, e error) {
@@ -670,6 +741,24 @@ func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.Fus
 			case <-s.hardCtx.Done():
 				return nil, ErrDraining
 			}
+		}
+	}
+	if len(traced) > 0 {
+		end := time.Now()
+		capture.Rows = res.Rows
+		for _, tr := range traced {
+			tr.Add("execute", 0, tr.Offset(start), tr.Offset(end),
+				trace.Attr{Key: "device", Val: d.name},
+				trace.Attr{Key: "rows", Val: res.Rows},
+				trace.Attr{Key: "sim_latency_us", Val: float64(res.Report.Latency) / float64(time.Microsecond)})
+			tr.AttachKernels(capture)
+		}
+		// Network-level drift: the plan's whole-request prediction against
+		// the fused makespan. Only a single-row batch is comparable — the
+		// plan predicts one inference, the makespan covers the whole batch.
+		if res.Rows == 1 && res.Report.Latency > 0 {
+			s.mets.predErr.With("all", "network", g.key.mech.String()).
+				Observe(float64(plan.Predicted) / float64(res.Report.Latency))
 		}
 	}
 	return res, nil

@@ -15,6 +15,7 @@ import (
 
 	"mulayer/internal/core"
 	"mulayer/internal/server/metrics"
+	"mulayer/internal/trace"
 )
 
 // mechanisms maps API mechanism names to core mechanisms. NPU mechanisms
@@ -39,6 +40,14 @@ type Server struct {
 	start time.Time
 
 	healthy atomic.Bool
+
+	// traces is the bounded ring of recent request traces served at
+	// /debug/traces (nil when tracing is disabled). traceSeq numbers
+	// requests for trace ids and the deterministic head sampler; sampleN
+	// keeps every Nth request (0 disables head sampling — slow-only).
+	traces   *trace.Ring
+	traceSeq atomic.Uint64
+	sampleN  uint64
 }
 
 // New builds a server (pool constructed, workers running) ready to Serve.
@@ -54,6 +63,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, sched: sched, reg: reg, start: time.Now()}
 	s.healthy.Store(true)
+	if cfg.tracingEnabled() {
+		s.traces = trace.NewRing(cfg.TraceRing)
+		switch {
+		case cfg.TraceSample >= 1:
+			s.sampleN = 1
+		case cfg.TraceSample > 0:
+			s.sampleN = uint64(math.Round(1 / cfg.TraceSample))
+		}
+	}
 	s.http = &http.Server{
 		Addr:              cfg.Addr,
 		Handler:           s.Handler(),
@@ -71,6 +89,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	return mux
 }
 
@@ -203,6 +223,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
@@ -253,8 +274,19 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	wallStart := time.Now()
-	out := s.sched.Submit(ctx, req.Model, m, mech, req.SoC, rows)
+	// When tracing is enabled every request records a trace: the head
+	// sampler decides up front whether to keep it, and a slow finish keeps
+	// it retroactively. The admission span covers body read, validation,
+	// and model/mechanism resolution.
+	tr := s.newTrace(req.Model, mechName, req.SoC, rows, reqStart)
+	if tr != nil {
+		tr.Add("admission", 0, 0, tr.Offset(time.Now()))
+	}
+	out := s.sched.SubmitTraced(ctx, req.Model, m, mech, req.SoC, rows, tr)
+	wall := time.Since(reqStart)
+	if tr != nil {
+		s.finishTrace(ctx, tr, out, wall)
+	}
 	code := statusFor(out.err)
 	if out.err != nil {
 		if code == http.StatusServiceUnavailable {
@@ -272,7 +304,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		LatencyUS:   float64(out.simLat) / float64(time.Microsecond),
 		EnergyMJ:    out.energyJ * 1e3,
 		QueueWaitUS: float64(out.queueWait) / float64(time.Microsecond),
-		WallUS:      float64(time.Since(wallStart)) / float64(time.Microsecond),
+		WallUS:      float64(wall) / float64(time.Microsecond),
 	})
 }
 
@@ -394,16 +426,28 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		MaxBatch    int                 `json:"max_batch"`
 		BatchWaitMS float64             `json:"batch_wait_ms"`
 		PlanCache   core.PlanCacheStats `json:"plan_cache"`
-		Devices     []deviceStatus      `json:"devices"`
+		// QueueWait and Wall summarize the admission-to-dispatch and
+		// admission-to-completion latency histograms (milliseconds).
+		QueueWait []latencySummary `json:"queue_wait,omitempty"`
+		Wall      []latencySummary `json:"wall,omitempty"`
+		// PredictorDrift is the median predicted/actual kernel-time ratio
+		// per (processor, layer kind, mechanism); 1.0 is an exact predictor.
+		PredictorDrift []driftSummary `json:"predictor_drift,omitempty"`
+		Tracing        traceStatus    `json:"tracing"`
+		Devices        []deviceStatus `json:"devices"`
 	}{
-		UptimeS:     time.Since(s.start).Seconds(),
-		QueueDepth:  s.sched.QueueDepth(),
-		QueueCap:    s.cfg.QueueDepth,
-		Draining:    s.sched.Draining(),
-		TimeScale:   s.cfg.TimeScale,
-		MaxBatch:    s.cfg.MaxBatch,
-		BatchWaitMS: float64(s.cfg.BatchWait) / float64(time.Millisecond),
-		PlanCache:   s.sched.CacheStats(),
+		UptimeS:        time.Since(s.start).Seconds(),
+		QueueDepth:     s.sched.QueueDepth(),
+		QueueCap:       s.cfg.QueueDepth,
+		Draining:       s.sched.Draining(),
+		TimeScale:      s.cfg.TimeScale,
+		MaxBatch:       s.cfg.MaxBatch,
+		BatchWaitMS:    float64(s.cfg.BatchWait) / float64(time.Millisecond),
+		PlanCache:      s.sched.CacheStats(),
+		QueueWait:      summarizeLatency(s.sched.mets.queueWait),
+		Wall:           summarizeLatency(s.sched.mets.wallLat),
+		PredictorDrift: summarizeDrift(s.sched.mets.predErr),
+		Tracing:        s.traceStatus(),
 	}
 	for _, d := range devs {
 		h := d.health()

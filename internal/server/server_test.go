@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Models == nil {
 		cfg.Models = testModels(t)
 	}
+	base := runtime.NumGoroutine()
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -31,6 +33,16 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = s.sched.Drain(ctx)
+		// Every worker, window timer, and pacing timer must be gone after
+		// the drain — a small slack absorbs httptest and runtime helpers.
+		deadline := time.Now().Add(3 * time.Second)
+		for runtime.NumGoroutine() > base+4 {
+			if time.Now().After(deadline) {
+				t.Errorf("goroutines %d vs baseline %d: leak after drain", runtime.NumGoroutine(), base)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 	})
 	return s, ts
 }

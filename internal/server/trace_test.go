@@ -1,0 +1,480 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mulayer/internal/soc"
+)
+
+// syncBuffer is a concurrency-safe bytes.Buffer for the slow-request log.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// getJSON fetches a URL and decodes its JSON body into out.
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v (%s)", url, err, data)
+		}
+	}
+	return resp
+}
+
+// traceIndex mirrors the /debug/traces reply.
+type traceIndex struct {
+	Enabled bool              `json:"enabled"`
+	Sample  float64           `json:"sample"`
+	SlowMS  float64           `json:"slow_ms"`
+	RingLen int               `json:"ring_len"`
+	RingCap int               `json:"ring_cap"`
+	Traces  []traceIndexEntry `json:"traces"`
+}
+
+// chromeEvent mirrors one Chrome Trace Event for validation.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// fetchChromeTrace downloads one trace and decodes the event array.
+func fetchChromeTrace(t *testing.T, base, id string) []chromeEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("trace %s: status %d (%s)", id, resp.StatusCode, body)
+	}
+	var events []chromeEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("trace %s: bad Chrome JSON: %v", id, err)
+	}
+	return events
+}
+
+// TestTraceSmokeServeLoad is the end-to-end observability smoke test: a
+// small concurrent load with full sampling, then every debug surface is
+// checked — the trace ring index, a Perfetto-loadable Chrome trace with
+// per-layer kernel spans carrying split-ratio and drift attributes, the
+// predictor-drift histogram in /metrics, and the /statusz summaries.
+func TestTraceSmokeServeLoad(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SoCs:        []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 2}},
+		QueueDepth:  64,
+		TraceSample: 1.0,
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			model := []string{"googlenet", "lenet5"}[i%2]
+			resp, data := postInfer(t, ts.URL, InferRequest{Model: model, Mechanism: "mulayer"})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d (%s)", i, resp.StatusCode, data)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Index: everything sampled, nothing evicted (n < default ring 64).
+	var idx traceIndex
+	getJSON(t, ts.URL+"/debug/traces", &idx)
+	if !idx.Enabled || idx.Sample != 1.0 {
+		t.Fatalf("index config wrong: %+v", idx)
+	}
+	if idx.RingLen != n || len(idx.Traces) != n {
+		t.Fatalf("ring holds %d/%d traces, want %d", idx.RingLen, len(idx.Traces), n)
+	}
+	for _, e := range idx.Traces {
+		if !e.Sampled || e.Slow || e.Error != "" {
+			t.Fatalf("trace %s: want sampled, not slow, no error: %+v", e.ID, e)
+		}
+		if e.WallMS <= 0 || e.Device == "" {
+			t.Fatalf("trace %s: degenerate entry %+v", e.ID, e)
+		}
+	}
+
+	// One full Chrome trace: stage spans on the request process, one
+	// kernel span per executed layer on the device process. GoogLeNet is
+	// big enough that μLayer actually splits layers across processors
+	// (lenet5 may legitimately collapse onto the CPU alone).
+	tr := idx.Traces[0]
+	for _, e := range idx.Traces {
+		if e.Model == "googlenet" {
+			tr = e
+			break
+		}
+	}
+	events := fetchChromeTrace(t, ts.URL, tr.ID)
+	stages := map[string]bool{}
+	var kernels []chromeEvent
+	for _, ev := range events {
+		switch {
+		case ev.Phase == "X" && ev.PID == 1:
+			stages[ev.Name] = true
+		case ev.Phase == "X" && ev.PID == 2 && ev.Cat == "kernel":
+			kernels = append(kernels, ev)
+		}
+	}
+	for _, want := range []string{"request", "admission", "batch-window", "device-queue", "plan", "execute"} {
+		if !stages[want] {
+			t.Fatalf("trace %s: missing stage span %q (have %v)", tr.ID, want, stages)
+		}
+	}
+	// Every executed layer (the whole graph minus its input node) must
+	// have at least one kernel span.
+	model := testModels(t)[tr.Model]
+	if want := model.Graph.Len() - 1; len(kernels) < want {
+		t.Fatalf("trace %s: %d kernel spans for %d executed layers", tr.ID, len(kernels), want)
+	}
+	tids := map[int]bool{}
+	for _, k := range kernels {
+		proc, _ := k.Args["proc"].(string)
+		if proc != "CPU" && proc != "GPU" && proc != "NPU" {
+			t.Fatalf("kernel %q: bad proc attr %v", k.Name, k.Args["proc"])
+		}
+		p, ok := k.Args["p"].(float64)
+		if !ok || p <= 0 || p > 1 {
+			t.Fatalf("kernel %q: bad split-ratio attr %v", k.Name, k.Args["p"])
+		}
+		if ratio, ok := k.Args["error_ratio"].(float64); ok && ratio <= 0 {
+			t.Fatalf("kernel %q: non-positive error_ratio %v", k.Name, ratio)
+		}
+		tids[k.TID] = true
+	}
+	if len(tids) < 2 {
+		t.Fatalf("kernel spans landed on %d processor tracks, want ≥2 for mulayer", len(tids))
+	}
+
+	// Drift telemetry: the histogram is populated with full labels.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, `mulayer_predictor_error_ratio_count{proc="CPU",kind="conv",mechanism="mulayer"}`) {
+		t.Fatalf("metrics missing CPU conv drift series:\n%s", grepLines(text, "predictor_error_ratio_count"))
+	}
+	if !strings.Contains(text, `mulayer_predictor_error_ratio_count{proc="all",kind="network",mechanism="mulayer"}`) {
+		t.Fatalf("metrics missing network-level drift series:\n%s", grepLines(text, "predictor_error_ratio_count"))
+	}
+
+	// /statusz: latency quantiles, drift medians, tracing state.
+	var status struct {
+		QueueWait      []latencySummary `json:"queue_wait"`
+		Wall           []latencySummary `json:"wall"`
+		PredictorDrift []driftSummary   `json:"predictor_drift"`
+		Tracing        traceStatus      `json:"tracing"`
+	}
+	getJSON(t, ts.URL+"/statusz", &status)
+	if len(status.QueueWait) == 0 || len(status.Wall) == 0 {
+		t.Fatalf("statusz latency summaries empty: %+v", status)
+	}
+	for _, row := range status.Wall {
+		if row.Count <= 0 || row.P50MS <= 0 || row.P99MS < row.P50MS {
+			t.Fatalf("statusz wall row degenerate: %+v", row)
+		}
+	}
+	if len(status.PredictorDrift) == 0 {
+		t.Fatal("statusz predictor_drift empty after a traced load")
+	}
+	for _, row := range status.PredictorDrift {
+		if row.Count <= 0 || row.P50Ratio <= 0 || row.Proc == "" || row.Kind == "" {
+			t.Fatalf("statusz drift row degenerate: %+v", row)
+		}
+	}
+	if !status.Tracing.Enabled || status.Tracing.RingLen != n {
+		t.Fatalf("statusz tracing state wrong: %+v", status.Tracing)
+	}
+}
+
+// grepLines returns the lines of text containing substr (test diagnostics).
+func grepLines(text, substr string) string {
+	var out []string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestTraceSampledVsForced: with head sampling at 1-in-2, exactly every
+// second request lands in the ring; with sampling off and a 1ns slow
+// threshold, every request is kept as a forced slow capture instead, and
+// each one emits a structured slow-request log line.
+func TestTraceSampledVsForced(t *testing.T) {
+	t.Run("sampled", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{
+			SoCs:        []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+			TraceSample: 0.5,
+		})
+		for i := 0; i < 4; i++ {
+			resp, data := postInfer(t, ts.URL, InferRequest{Model: "lenet5"})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, data)
+			}
+		}
+		var idx traceIndex
+		getJSON(t, ts.URL+"/debug/traces", &idx)
+		if idx.RingLen != 2 {
+			t.Fatalf("ring holds %d traces after 4 requests at sample 0.5, want 2", idx.RingLen)
+		}
+		for _, e := range idx.Traces {
+			if !e.Sampled || e.Slow {
+				t.Fatalf("trace %s: want sampled, not slow: %+v", e.ID, e)
+			}
+		}
+	})
+
+	t.Run("forced-slow", func(t *testing.T) {
+		var slowLog syncBuffer
+		_, ts := newTestServer(t, Config{
+			SoCs:      []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+			TraceSlow: time.Nanosecond,
+			SlowLog:   &slowLog,
+		})
+		resp, data := postInfer(t, ts.URL, InferRequest{Model: "lenet5", Mechanism: "mulayer"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, data)
+		}
+		var idx traceIndex
+		getJSON(t, ts.URL+"/debug/traces", &idx)
+		if idx.RingLen != 1 {
+			t.Fatalf("ring holds %d traces, want 1 forced capture", idx.RingLen)
+		}
+		e := idx.Traces[0]
+		if e.Sampled || !e.Slow {
+			t.Fatalf("trace %s: want slow-only capture: %+v", e.ID, e)
+		}
+
+		// The slow log line is valid JSON with the where-did-time-go fields.
+		var line struct {
+			Msg         string       `json:"msg"`
+			Trace       string       `json:"trace"`
+			Model       string       `json:"model"`
+			Mechanism   string       `json:"mechanism"`
+			Device      string       `json:"device"`
+			WallMS      float64      `json:"wall_ms"`
+			ThresholdMS float64      `json:"threshold_ms"`
+			TopKernels  []slowKernel `json:"top_kernels"`
+		}
+		logged := strings.TrimSpace(slowLog.String())
+		if err := json.Unmarshal([]byte(logged), &line); err != nil {
+			t.Fatalf("slow log not one JSON line: %v (%q)", err, logged)
+		}
+		if line.Msg != "slow request" || line.Trace != e.ID || line.Model != "lenet5" {
+			t.Fatalf("slow log identity wrong: %+v", line)
+		}
+		if line.WallMS <= line.ThresholdMS || line.Device == "" {
+			t.Fatalf("slow log numbers wrong: %+v", line)
+		}
+		if len(line.TopKernels) != 3 {
+			t.Fatalf("slow log has %d top kernels, want 3", len(line.TopKernels))
+		}
+		for i, k := range line.TopKernels {
+			if k.DurUS <= 0 || k.Proc == "" {
+				t.Fatalf("top kernel %d degenerate: %+v", i, k)
+			}
+			if i > 0 && k.DurUS > line.TopKernels[i-1].DurUS {
+				t.Fatalf("top kernels not sorted: %+v", line.TopKernels)
+			}
+		}
+	})
+}
+
+// TestTraceRingEvictionHTTP: a full ring evicts oldest-first, and an
+// evicted trace 404s while a survivor still serves.
+func TestTraceRingEvictionHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SoCs:        []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+		TraceSample: 1.0,
+		TraceRing:   2,
+	})
+	for i := 0; i < 5; i++ {
+		resp, data := postInfer(t, ts.URL, InferRequest{Model: "lenet5"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+	var idx traceIndex
+	getJSON(t, ts.URL+"/debug/traces", &idx)
+	if idx.RingLen != 2 || idx.RingCap != 2 {
+		t.Fatalf("ring %d/%d, want 2/2", idx.RingLen, idx.RingCap)
+	}
+	if idx.Traces[0].ID != "req-000005" || idx.Traces[1].ID != "req-000004" {
+		t.Fatalf("ring kept %s, %s; want the two newest", idx.Traces[0].ID, idx.Traces[1].ID)
+	}
+	if resp := getJSON(t, ts.URL+"/debug/traces/req-000001", &json.RawMessage{}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted trace served with status %d, want 404", resp.StatusCode)
+	}
+	if events := fetchChromeTrace(t, ts.URL, "req-000005"); len(events) == 0 {
+		t.Fatal("surviving trace has no events")
+	}
+}
+
+// TestTracingDisabledSurfaces: with tracing off the debug surfaces stay
+// up (empty index, 404 lookups) and /statusz reports it disabled.
+func TestTracingDisabledSurfaces(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SoCs: []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+	})
+	resp, data := postInfer(t, ts.URL, InferRequest{Model: "lenet5"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, data)
+	}
+	var idx traceIndex
+	getJSON(t, ts.URL+"/debug/traces", &idx)
+	if idx.Enabled || idx.RingLen != 0 || len(idx.Traces) != 0 {
+		t.Fatalf("disabled tracing leaked traces: %+v", idx)
+	}
+	if resp := getJSON(t, ts.URL+"/debug/traces/req-000001", &json.RawMessage{}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace lookup with tracing off: status %d, want 404", resp.StatusCode)
+	}
+	var status struct {
+		Tracing traceStatus `json:"tracing"`
+	}
+	getJSON(t, ts.URL+"/statusz", &status)
+	if status.Tracing.Enabled {
+		t.Fatal("statusz reports tracing enabled")
+	}
+}
+
+// TestTraceBatchMembersShareKernels: two requests fused into one batch
+// each get a complete trace whose kernel spans come from the shared batch
+// capture (same device, same fused row count on every span).
+func TestTraceBatchMembersShareKernels(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SoCs:        []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+		MaxBatch:    4,
+		BatchWait:   50 * time.Millisecond,
+		TraceSample: 1.0,
+	})
+	const n = 2
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postInfer(t, ts.URL, InferRequest{Model: "lenet5", Batch: 2})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d (%s)", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var idx traceIndex
+	getJSON(t, ts.URL+"/debug/traces", &idx)
+	if idx.RingLen != n {
+		t.Fatalf("ring holds %d traces, want %d", idx.RingLen, n)
+	}
+	// Both requests may or may not have fused into one batch (timing), but
+	// every trace must carry kernel spans whose rows equal its own batch's
+	// fused row count, and rows ≥ the member's own 2.
+	for _, e := range idx.Traces {
+		events := fetchChromeTrace(t, ts.URL, e.ID)
+		var kernelRows float64 = -1
+		for _, ev := range events {
+			if ev.Cat != "kernel" {
+				continue
+			}
+			rows, ok := ev.Args["rows"].(float64)
+			if !ok || rows < 2 {
+				t.Fatalf("trace %s kernel %q: rows attr %v, want ≥2", e.ID, ev.Name, ev.Args["rows"])
+			}
+			if kernelRows < 0 {
+				kernelRows = rows
+			} else if rows != kernelRows {
+				t.Fatalf("trace %s: kernel rows disagree within one capture: %v vs %v", e.ID, rows, kernelRows)
+			}
+		}
+		if kernelRows < 0 {
+			t.Fatalf("trace %s: no kernel spans", e.ID)
+		}
+	}
+}
+
+// TestStatuszQuantilesMonotone pins the quantile helper: p50 ≤ p95 ≤ p99
+// and counts add up across a mixed-model run.
+func TestStatuszQuantilesMonotone(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SoCs: []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+	})
+	const n = 6
+	for i := 0; i < n; i++ {
+		model := []string{"googlenet", "lenet5"}[i%2]
+		if resp, data := postInfer(t, ts.URL, InferRequest{Model: model}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, resp.StatusCode, data)
+		}
+	}
+	var status struct {
+		QueueWait []latencySummary `json:"queue_wait"`
+		Wall      []latencySummary `json:"wall"`
+	}
+	getJSON(t, ts.URL+"/statusz", &status)
+	var queueTotal, wallTotal int64
+	for _, row := range status.QueueWait {
+		queueTotal += row.Count
+		if row.P50MS > row.P95MS || row.P95MS > row.P99MS {
+			t.Fatalf("queue-wait quantiles not monotone: %+v", row)
+		}
+	}
+	for _, row := range status.Wall {
+		wallTotal += row.Count
+		if row.P50MS > row.P95MS || row.P95MS > row.P99MS {
+			t.Fatalf("wall quantiles not monotone: %+v", row)
+		}
+		if len(row.Labels) == 0 || row.Labels["model"] == "" {
+			t.Fatalf("wall row missing model label: %+v", row)
+		}
+	}
+	if queueTotal != n || wallTotal != n {
+		t.Fatalf("quantile counts queue=%d wall=%d, want %d each", queueTotal, wallTotal, n)
+	}
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mulayer/internal/server/metrics"
+	"mulayer/internal/trace"
+)
+
+// newTrace starts the trace for one admitted-or-about-to-be request, or
+// returns nil when tracing is off. Every request gets a trace while
+// tracing is enabled — head sampling only decides whether the trace is
+// kept unconditionally; a non-sampled trace is still recorded so it can
+// be kept retroactively if the request turns out slow.
+func (s *Server) newTrace(model, mechName, soc string, rows int, begin time.Time) *trace.Trace {
+	if s.traces == nil {
+		return nil
+	}
+	n := s.traceSeq.Add(1)
+	sampled := s.sampleN > 0 && n%s.sampleN == 0
+	return trace.New(fmt.Sprintf("req-%06d", n), model, mechName, soc, rows, begin, sampled)
+}
+
+// finishTrace closes the trace, applies the slow-request policy (mark +
+// structured log line), and admits the trace to the debug ring when the
+// head sampler chose it or it crossed the slow threshold.
+func (s *Server) finishTrace(ctx context.Context, tr *trace.Trace, out outcome, wall time.Duration) {
+	tr.Finish(wall, out.err)
+	slow := s.cfg.TraceSlow > 0 && wall > s.cfg.TraceSlow
+	if slow {
+		tr.MarkSlow()
+		s.logSlow(ctx, tr, out, wall)
+	}
+	if tr.Sampled || slow {
+		s.traces.Add(tr)
+	}
+}
+
+// slowKernel is one entry of the slow-request log's top-kernels line.
+type slowKernel struct {
+	Label string  `json:"label"`
+	Proc  string  `json:"proc"`
+	Kind  string  `json:"kind"`
+	DurUS float64 `json:"dur_us"`
+	P     float64 `json:"p"`
+}
+
+// logSlow emits one structured JSON line for a request whose wall latency
+// crossed the always-trace threshold: identity, where the time went
+// (queue wait, top kernels), the plan's mean split ratio, and how much
+// deadline was left when it finished.
+func (s *Server) logSlow(ctx context.Context, tr *trace.Trace, out outcome, wall time.Duration) {
+	line := struct {
+		Msg             string       `json:"msg"`
+		Trace           string       `json:"trace"`
+		Model           string       `json:"model"`
+		Mechanism       string       `json:"mechanism"`
+		SoC             string       `json:"soc,omitempty"`
+		Device          string       `json:"device,omitempty"`
+		Rows            int          `json:"rows"`
+		WallMS          float64      `json:"wall_ms"`
+		QueueWaitMS     float64      `json:"queue_wait_ms"`
+		ThresholdMS     float64      `json:"threshold_ms"`
+		DeadlineSlackMS *float64     `json:"deadline_slack_ms,omitempty"`
+		MeanP           float64      `json:"mean_p,omitempty"`
+		Error           string       `json:"error,omitempty"`
+		TopKernels      []slowKernel `json:"top_kernels,omitempty"`
+	}{
+		Msg:         "slow request",
+		Trace:       tr.ID,
+		Model:       tr.Model,
+		Mechanism:   tr.Mechanism,
+		SoC:         tr.SoC,
+		Device:      tr.Device(),
+		Rows:        tr.Rows,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		QueueWaitMS: float64(out.queueWait) / float64(time.Millisecond),
+		ThresholdMS: float64(s.cfg.TraceSlow) / float64(time.Millisecond),
+		MeanP:       planMeanP(tr),
+		Error:       tr.Err(),
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		slack := float64(time.Until(dl)) / float64(time.Millisecond)
+		line.DeadlineSlackMS = &slack
+	}
+	for _, k := range tr.TopKernels(3) {
+		line.TopKernels = append(line.TopKernels, slowKernel{
+			Label: k.Label, Proc: k.Side, Kind: k.Kind,
+			DurUS: float64(k.End-k.Start) / float64(time.Microsecond),
+			P:     k.P,
+		})
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	_, _ = s.cfg.SlowLog.Write(append(b, '\n'))
+}
+
+// planMeanP digs the plan stage's mean split ratio out of the trace (0
+// when the request never reached planning).
+func planMeanP(tr *trace.Trace) float64 {
+	for _, sp := range tr.Spans() {
+		if sp.Name != "plan" {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "mean_p" {
+				if v, ok := a.Val.(float64); ok {
+					return v
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// traceIndexEntry is one row of the /debug/traces index.
+type traceIndexEntry struct {
+	ID        string  `json:"id"`
+	Model     string  `json:"model"`
+	Mechanism string  `json:"mechanism"`
+	SoC       string  `json:"soc,omitempty"`
+	Device    string  `json:"device,omitempty"`
+	Rows      int     `json:"rows"`
+	WallMS    float64 `json:"wall_ms"`
+	Sampled   bool    `json:"sampled"`
+	Slow      bool    `json:"slow"`
+	Error     string  `json:"error,omitempty"`
+	// URL is the per-trace Chrome JSON (load it in Perfetto or
+	// chrome://tracing).
+	URL string `json:"url"`
+}
+
+// handleTraces serves the ring index, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Enabled bool              `json:"enabled"`
+		Sample  float64           `json:"sample"`
+		SlowMS  float64           `json:"slow_ms"`
+		RingLen int               `json:"ring_len"`
+		RingCap int               `json:"ring_cap"`
+		Traces  []traceIndexEntry `json:"traces"`
+	}{
+		Enabled: s.traces != nil,
+		Sample:  s.cfg.TraceSample,
+		SlowMS:  float64(s.cfg.TraceSlow) / float64(time.Millisecond),
+	}
+	if s.traces != nil {
+		out.RingLen = s.traces.Len()
+		out.RingCap = s.traces.Cap()
+		for _, tr := range s.traces.List() {
+			out.Traces = append(out.Traces, traceIndexEntry{
+				ID:        tr.ID,
+				Model:     tr.Model,
+				Mechanism: tr.Mechanism,
+				SoC:       tr.SoC,
+				Device:    tr.Device(),
+				Rows:      tr.Rows,
+				WallMS:    float64(tr.Wall()) / float64(time.Millisecond),
+				Sampled:   tr.Sampled,
+				Slow:      tr.Slow(),
+				Error:     tr.Err(),
+				URL:       "/debug/traces/" + tr.ID,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTraceByID serves one trace in the Chrome Trace Event Format.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var tr *trace.Trace
+	if s.traces != nil {
+		tr = s.traces.Get(id)
+	}
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no trace %q in the ring", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChrome(w)
+}
+
+// latencySummary is one labeled histogram's quantile row in /statusz.
+type latencySummary struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  int64             `json:"count"`
+	P50MS  float64           `json:"p50_ms"`
+	P95MS  float64           `json:"p95_ms"`
+	P99MS  float64           `json:"p99_ms"`
+}
+
+// summarizeLatency renders a seconds-valued histogram family as
+// millisecond p50/p95/p99 rows, one per label set.
+func summarizeLatency(h *metrics.HistogramVec) []latencySummary {
+	names := h.LabelNames()
+	vals, hists := h.Snapshot()
+	out := make([]latencySummary, 0, len(hists))
+	for i, hist := range hists {
+		if hist.Count() == 0 {
+			continue
+		}
+		row := latencySummary{
+			Count: hist.Count(),
+			P50MS: hist.Quantile(0.50) * 1e3,
+			P95MS: hist.Quantile(0.95) * 1e3,
+			P99MS: hist.Quantile(0.99) * 1e3,
+		}
+		if len(vals[i]) > 0 {
+			row.Labels = make(map[string]string, len(names))
+			for j, n := range names {
+				row.Labels[n] = vals[i][j]
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// driftSummary is one predictor-drift row in /statusz: the median
+// predicted/actual ratio for one (proc, layer kind, mechanism) cell.
+type driftSummary struct {
+	Proc      string  `json:"proc"`
+	Kind      string  `json:"kind"`
+	Mechanism string  `json:"mechanism"`
+	Count     int64   `json:"count"`
+	P50Ratio  float64 `json:"p50_ratio"`
+}
+
+// summarizeDrift renders the mulayer_predictor_error_ratio family.
+func summarizeDrift(h *metrics.HistogramVec) []driftSummary {
+	vals, hists := h.Snapshot()
+	out := make([]driftSummary, 0, len(hists))
+	for i, hist := range hists {
+		if hist.Count() == 0 || len(vals[i]) != 3 {
+			continue
+		}
+		out = append(out, driftSummary{
+			Proc:      vals[i][0],
+			Kind:      vals[i][1],
+			Mechanism: vals[i][2],
+			Count:     hist.Count(),
+			P50Ratio:  hist.Quantile(0.50),
+		})
+	}
+	return out
+}
+
+// traceStatus is the tracing section of /statusz.
+type traceStatus struct {
+	Enabled bool    `json:"enabled"`
+	Sample  float64 `json:"sample"`
+	SlowMS  float64 `json:"slow_ms"`
+	RingLen int     `json:"ring_len"`
+	RingCap int     `json:"ring_cap"`
+}
+
+func (s *Server) traceStatus() traceStatus {
+	st := traceStatus{
+		Enabled: s.traces != nil,
+		Sample:  s.cfg.TraceSample,
+		SlowMS:  float64(s.cfg.TraceSlow) / float64(time.Millisecond),
+	}
+	if s.traces != nil {
+		st.RingLen = s.traces.Len()
+		st.RingCap = s.traces.Cap()
+	}
+	return st
+}

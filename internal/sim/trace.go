@@ -1,73 +1,38 @@
 package sim
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 	"sort"
-	"time"
-)
 
-// chromeEvent is one Trace Event Format entry ("X" = complete event).
-// The format is consumed by chrome://tracing and https://ui.perfetto.dev.
-type chromeEvent struct {
-	Name  string         `json:"name"`
-	Cat   string         `json:"cat"`
-	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"`  // microseconds
-	Dur   float64        `json:"dur"` // microseconds
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
-}
+	"mulayer/internal/tracefmt"
+)
 
 // WriteChromeTrace serializes the timeline in the Chrome Trace Event
 // Format (JSON array variant): one track per processor, one complete
 // event per span. Load the output in chrome://tracing or Perfetto to see
 // the cooperative execution visually — CPU and GPU lanes overlapping on
-// split layers, serialized branches, and synchronization gaps.
+// split layers, serialized branches, and synchronization gaps. The event
+// serialization itself lives in internal/tracefmt, shared with the
+// serving subsystem's per-request traces.
 func (t *Timeline) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 
 	// Stable processor → track id mapping, ordered by first appearance.
-	tids := make(map[string]int)
-	var order []string
+	tracks := tracefmt.NewTracks()
 	for _, s := range spans {
-		if _, ok := tids[s.Proc]; !ok {
-			tids[s.Proc] = len(order)
-			order = append(order, s.Proc)
-		}
+		tracks.ID(s.Proc)
 	}
 
-	events := make([]chromeEvent, 0, len(spans)+len(order))
-	for name, tid := range tids {
-		events = append(events, chromeEvent{
-			Name: "thread_name", Cat: "__metadata", Phase: "M",
-			PID: 1, TID: tid,
-			Args: map[string]any{"name": name},
-		})
-	}
+	events := make([]tracefmt.Event, 0, len(spans)+len(tracks.Names()))
 	// Metadata events have no timestamp ordering requirement but keeping
-	// them first renders cleanly.
-	sort.SliceStable(events, func(i, j int) bool { return events[i].TID < events[j].TID })
-
+	// them first (in track order) renders cleanly.
+	for tid, name := range tracks.Names() {
+		events = append(events, tracefmt.ThreadName(1, tid, name))
+	}
 	for _, s := range spans {
-		events = append(events, chromeEvent{
-			Name:  s.Label,
-			Cat:   "kernel",
-			Phase: "X",
-			TS:    float64(s.Start) / float64(time.Microsecond),
-			Dur:   float64(s.End-s.Start) / float64(time.Microsecond),
-			PID:   1,
-			TID:   tids[s.Proc],
-			Args:  map[string]any{"energy_pj": s.EnergyPJ},
-		})
+		events = append(events, tracefmt.Complete(s.Label, "kernel", 1, tracks.ID(s.Proc),
+			s.Start, s.End-s.Start, map[string]any{"energy_pj": s.EnergyPJ}))
 	}
-
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(events); err != nil {
-		return fmt.Errorf("sim: encoding chrome trace: %w", err)
-	}
-	return nil
+	return tracefmt.Write(w, events)
 }

@@ -1,0 +1,382 @@
+// Package trace is the serving stack's per-request span recorder. A
+// Trace is a small tree of wall-clock stage spans (admission → queue →
+// batch window → device queue → plan lookup → execute) plus an attached
+// Capture of simulated-time kernel spans produced by the executor's
+// TraceHook. Traces are allocation-frugal — one mutex, one span slice,
+// one shared read-only kernel capture — and export to the Chrome Trace
+// Event Format (internal/tracefmt) so a request can be opened in
+// Perfetto: process 1 shows the request's wall-clock stages, process 2
+// shows the simulated device timeline with one lane per processor and
+// per-kernel split-ratio and predictor-drift attributes.
+//
+// Concurrency: a Trace is written by the request's handler goroutine and
+// the scheduler worker that serves its batch; every mutation and read
+// goes through the Trace's mutex. A Capture is built by a single worker
+// goroutine while it runs the batch and then attached, read-only, to
+// every traced member of that batch — members share the capture without
+// copying and demux per-member views at export time.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mulayer/internal/tracefmt"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Span is one wall-clock stage of a request, stored as offsets from the
+// trace's begin time. Parent is the index of the enclosing span (-1 for
+// the root), forming the request's span tree.
+type Span struct {
+	Name   string
+	Parent int
+	Start  time.Duration
+	End    time.Duration
+	Attrs  []Attr
+}
+
+// KernelSpan is one executed kernel in simulated device time, annotated
+// with the split share it computed and the predictor's estimate of its
+// duration — the raw material of the drift telemetry.
+type KernelSpan struct {
+	// Proc is the full processor name (the timeline track, e.g.
+	// "Exynos7420-GPU(MaliT760@772MHz)").
+	Proc string
+	// Side is the short processor tag: "CPU", "GPU", or "NPU".
+	Side  string
+	Label string
+	Kind  string
+	// Start/End bound the kernel on the simulated timeline.
+	Start time.Duration
+	End   time.Duration
+	// P is the share of the layer's output channels this kernel computed
+	// (1 for a whole, unsplit layer).
+	P    float64
+	Rows int
+	// Predicted is the latency predictor's estimate of the pure kernel
+	// time for this share; Actual is the device cost model's. Both
+	// exclude the kernel launch overhead.
+	Predicted time.Duration
+	Actual    time.Duration
+}
+
+// ErrorRatio is predicted/actual — 1.0 means the predictor was exact,
+// >1 overestimates, <1 underestimates. Returns 0 when actual is zero.
+func (k KernelSpan) ErrorRatio() float64 {
+	if k.Actual <= 0 {
+		return 0
+	}
+	return float64(k.Predicted) / float64(k.Actual)
+}
+
+// Capture is the kernel-span record of one batch execution. It is built
+// by a single goroutine (the scheduler worker driving the batch) and
+// MUST NOT be mutated after being attached to a trace: concurrent
+// traced batch members share one capture by pointer.
+type Capture struct {
+	// Device is the serving device that ran the batch.
+	Device string
+	// Rows is the total fused row count of the batch.
+	Rows  int
+	Spans []KernelSpan
+}
+
+// Trace is one request's recording. The identity fields (ID, Model,
+// Mechanism, SoC, Rows, Begin, Sampled) are set at New and never change;
+// everything else is guarded by the mutex.
+type Trace struct {
+	ID        string
+	Model     string
+	Mechanism string
+	SoC       string
+	Rows      int
+	// Begin anchors every span offset.
+	Begin time.Time
+	// Sampled is true when the head sampler chose this request (as
+	// opposed to a slow-only capture that is kept only if it crosses the
+	// always-trace threshold).
+	Sampled bool
+
+	mu      sync.Mutex
+	device  string
+	slow    bool
+	wall    time.Duration
+	errMsg  string
+	spans   []Span
+	kernels *Capture
+}
+
+// New starts a trace whose root "request" span opens at begin.
+func New(id, model, mechanism, soc string, rows int, begin time.Time, sampled bool) *Trace {
+	t := &Trace{ID: id, Model: model, Mechanism: mechanism, SoC: soc,
+		Rows: rows, Begin: begin, Sampled: sampled}
+	t.spans = append(t.spans, Span{Name: "request", Parent: -1})
+	return t
+}
+
+// Offset converts an absolute time to a span offset from Begin, clamped
+// to zero so clock jitter never produces negative timestamps.
+func (t *Trace) Offset(tm time.Time) time.Duration {
+	d := tm.Sub(t.Begin)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Add records one stage span under parent (0 is the root) and returns
+// its index for use as a parent of finer spans.
+func (t *Trace) Add(name string, parent int, start, end time.Duration, attrs ...Attr) int {
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{Name: name, Parent: parent, Start: start, End: end, Attrs: attrs})
+	return len(t.spans) - 1
+}
+
+// SetDevice records the serving device once placement is known.
+func (t *Trace) SetDevice(name string) {
+	t.mu.Lock()
+	t.device = name
+	t.mu.Unlock()
+}
+
+// Device returns the recorded serving device ("" before placement).
+func (t *Trace) Device() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.device
+}
+
+// AttachKernels shares a batch execution's kernel capture with this
+// trace. The capture must be complete (no further appends) before it is
+// attached anywhere.
+func (t *Trace) AttachKernels(c *Capture) {
+	t.mu.Lock()
+	t.kernels = c
+	t.mu.Unlock()
+}
+
+// Kernels returns the attached capture (nil when execution never ran or
+// the request failed before placement).
+func (t *Trace) Kernels() *Capture {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kernels
+}
+
+// MarkSlow flags the trace as a slow-request capture.
+func (t *Trace) MarkSlow() {
+	t.mu.Lock()
+	t.slow = true
+	t.mu.Unlock()
+}
+
+// Slow reports whether the trace crossed the always-trace threshold.
+func (t *Trace) Slow() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.slow
+}
+
+// Finish closes the root span at wall and records the request's terminal
+// error, if any.
+func (t *Trace) Finish(wall time.Duration, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wall = wall
+	t.spans[0].End = wall
+	if err != nil {
+		t.errMsg = err.Error()
+	}
+}
+
+// Wall returns the root span's duration (0 before Finish).
+func (t *Trace) Wall() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wall
+}
+
+// Err returns the request's terminal error message ("" on success).
+func (t *Trace) Err() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.errMsg
+}
+
+// Spans returns a copy of the stage spans recorded so far.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// TopKernels returns the n longest kernel spans, longest first — the
+// "where did the time go" line of the slow-request log.
+func (t *Trace) TopKernels(n int) []KernelSpan {
+	c := t.Kernels()
+	if c == nil || n <= 0 {
+		return nil
+	}
+	spans := make([]KernelSpan, len(c.Spans))
+	copy(spans, c.Spans)
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].End-spans[i].Start > spans[j].End-spans[j].Start
+	})
+	if len(spans) > n {
+		spans = spans[:n]
+	}
+	return spans
+}
+
+// Chrome Trace process ids: the request's wall-clock stages and the
+// simulated device timeline are separate processes so Perfetto renders
+// them as distinct groups with independent time tracks.
+const (
+	pidRequest = 1
+	pidDevice  = 2
+)
+
+// WriteChrome exports the trace in the Chrome Trace Event Format.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	kernels := t.kernels
+	device, errMsg, slow := t.device, t.errMsg, t.slow
+	t.mu.Unlock()
+
+	events := make([]tracefmt.Event, 0, len(spans)+8)
+	events = append(events,
+		tracefmt.ProcessName(pidRequest, "request "+t.ID+" (wall clock)"),
+		tracefmt.ThreadName(pidRequest, 0, "stages"))
+	for i, s := range spans {
+		args := map[string]any{"parent": s.Parent}
+		if i == 0 {
+			args["model"] = t.Model
+			args["mechanism"] = t.Mechanism
+			args["soc"] = t.SoC
+			args["rows"] = t.Rows
+			args["sampled"] = t.Sampled
+			args["slow"] = slow
+			if device != "" {
+				args["device"] = device
+			}
+			if errMsg != "" {
+				args["error"] = errMsg
+			}
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		events = append(events, tracefmt.Complete(s.Name, "stage", pidRequest, 0, s.Start, s.End-s.Start, args))
+	}
+
+	if kernels != nil {
+		events = append(events, tracefmt.ProcessName(pidDevice, "device "+kernels.Device+" (simulated time)"))
+		tracks := tracefmt.NewTracks()
+		for _, k := range kernels.Spans {
+			tracks.ID(k.Proc)
+		}
+		for tid, name := range tracks.Names() {
+			events = append(events, tracefmt.ThreadName(pidDevice, tid, name))
+		}
+		for _, k := range kernels.Spans {
+			args := map[string]any{
+				"proc": k.Side,
+				"kind": k.Kind,
+				"p":    k.P,
+				"rows": k.Rows,
+			}
+			if k.Actual > 0 {
+				args["predicted_us"] = tracefmt.Micros(k.Predicted)
+				args["actual_us"] = tracefmt.Micros(k.Actual)
+				args["error_ratio"] = k.ErrorRatio()
+			}
+			events = append(events, tracefmt.Complete(k.Label, "kernel", pidDevice, tracks.ID(k.Proc),
+				k.Start, k.End-k.Start, args))
+		}
+	}
+	return tracefmt.Write(w, events)
+}
+
+// Ring is a bounded, concurrency-safe buffer of recent traces; adding
+// past capacity evicts the oldest. The serving layer keeps one ring and
+// serves it at /debug/traces.
+type Ring struct {
+	mu  sync.Mutex
+	max int
+	buf []*Trace
+}
+
+// NewRing returns a ring holding at most max traces (minimum 1).
+func NewRing(max int) *Ring {
+	if max < 1 {
+		max = 1
+	}
+	return &Ring{max: max}
+}
+
+// Add appends a trace, evicting the oldest when full.
+func (r *Ring) Add(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == r.max {
+		copy(r.buf, r.buf[1:])
+		r.buf[len(r.buf)-1] = t
+		return
+	}
+	r.buf = append(r.buf, t)
+}
+
+// Get returns the trace with the given id, or nil.
+func (r *Ring) Get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.buf) - 1; i >= 0; i-- {
+		if r.buf[i].ID == id {
+			return r.buf[i]
+		}
+	}
+	return nil
+}
+
+// List returns the held traces, newest first.
+func (r *Ring) List() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, len(r.buf))
+	for i, t := range r.buf {
+		out[len(r.buf)-1-i] = t
+	}
+	return out
+}
+
+// Len returns the number of held traces.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return r.max }
+
+// String implements fmt.Stringer for debug logging.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace %s %s wall=%s spans=%d", t.ID, t.Model, t.Wall(), len(t.Spans()))
+}

@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTrace(id string) *Trace {
+	return New(id, "lenet5", "mulayer", "exynos", 1, time.Unix(1000, 0), true)
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := testTrace("t1")
+	q := tr.Add("queue", 0, 0, 2*time.Millisecond)
+	tr.Add("batch-window", q, time.Millisecond, 2*time.Millisecond)
+	tr.Add("execute", 0, 2*time.Millisecond, 5*time.Millisecond, Attr{Key: "device", Val: "d0"})
+	tr.Finish(5*time.Millisecond, nil)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0].Name != "request" || spans[0].Parent != -1 || spans[0].End != 5*time.Millisecond {
+		t.Fatalf("root span wrong: %+v", spans[0])
+	}
+	if spans[2].Parent != q {
+		t.Fatalf("batch-window parent = %d, want %d", spans[2].Parent, q)
+	}
+	if tr.Wall() != 5*time.Millisecond {
+		t.Fatalf("Wall = %v", tr.Wall())
+	}
+	if tr.Err() != "" {
+		t.Fatalf("Err = %q, want empty", tr.Err())
+	}
+}
+
+func TestFinishRecordsError(t *testing.T) {
+	tr := testTrace("t1")
+	tr.Finish(time.Millisecond, fmt.Errorf("deadline exceeded"))
+	if tr.Err() != "deadline exceeded" {
+		t.Fatalf("Err = %q", tr.Err())
+	}
+}
+
+func TestOffsetClampsNegative(t *testing.T) {
+	tr := testTrace("t1")
+	if got := tr.Offset(tr.Begin.Add(-time.Second)); got != 0 {
+		t.Fatalf("Offset before Begin = %v, want 0", got)
+	}
+	if got := tr.Offset(tr.Begin.Add(3 * time.Millisecond)); got != 3*time.Millisecond {
+		t.Fatalf("Offset = %v", got)
+	}
+}
+
+func TestAddClampsBackwardSpan(t *testing.T) {
+	tr := testTrace("t1")
+	id := tr.Add("stage", 0, 5*time.Millisecond, time.Millisecond)
+	s := tr.Spans()[id]
+	if s.End != s.Start {
+		t.Fatalf("backward span not clamped: %+v", s)
+	}
+}
+
+func TestErrorRatio(t *testing.T) {
+	k := KernelSpan{Predicted: 2 * time.Millisecond, Actual: time.Millisecond}
+	if got := k.ErrorRatio(); got != 2 {
+		t.Fatalf("ErrorRatio = %v, want 2", got)
+	}
+	if got := (KernelSpan{Predicted: time.Millisecond}).ErrorRatio(); got != 0 {
+		t.Fatalf("zero-actual ErrorRatio = %v, want 0", got)
+	}
+}
+
+func TestTopKernels(t *testing.T) {
+	tr := testTrace("t1")
+	if tr.TopKernels(3) != nil {
+		t.Fatal("TopKernels on kernel-less trace should be nil")
+	}
+	c := &Capture{Device: "d0", Spans: []KernelSpan{
+		{Label: "a", Start: 0, End: time.Millisecond},
+		{Label: "b", Start: 0, End: 5 * time.Millisecond},
+		{Label: "c", Start: 0, End: 3 * time.Millisecond},
+		{Label: "d", Start: 0, End: 2 * time.Millisecond},
+	}}
+	tr.AttachKernels(c)
+	top := tr.TopKernels(3)
+	if len(top) != 3 || top[0].Label != "b" || top[1].Label != "c" || top[2].Label != "d" {
+		t.Fatalf("TopKernels = %+v", top)
+	}
+	// The attached capture must not be reordered by the sort.
+	if c.Spans[0].Label != "a" {
+		t.Fatalf("TopKernels mutated the shared capture: %+v", c.Spans)
+	}
+}
+
+// TestSharedCaptureConcurrent exercises the batching contract under
+// -race: one worker builds a capture, many traced batch members attach
+// and export it concurrently.
+func TestSharedCaptureConcurrent(t *testing.T) {
+	c := &Capture{Device: "d0", Rows: 8}
+	for i := 0; i < 20; i++ {
+		c.Spans = append(c.Spans, KernelSpan{
+			Proc: "CPU", Side: "CPU", Label: fmt.Sprintf("k%d", i), Kind: "conv",
+			Start: time.Duration(i) * time.Millisecond, End: time.Duration(i+1) * time.Millisecond,
+			P: 0.5, Rows: 8, Predicted: time.Millisecond, Actual: time.Millisecond,
+		})
+	}
+	var wg sync.WaitGroup
+	traces := make([]*Trace, 8)
+	for i := range traces {
+		traces[i] = testTrace(fmt.Sprintf("t%d", i))
+		wg.Add(1)
+		go func(tr *Trace) {
+			defer wg.Done()
+			tr.Add("queue", 0, 0, time.Millisecond)
+			tr.AttachKernels(c)
+			tr.Finish(2*time.Millisecond, nil)
+			var buf bytes.Buffer
+			if err := tr.WriteChrome(&buf); err != nil {
+				t.Errorf("WriteChrome: %v", err)
+			}
+			_ = tr.TopKernels(3)
+		}(traces[i])
+	}
+	wg.Wait()
+	for _, tr := range traces {
+		if tr.Kernels() != c {
+			t.Fatal("member lost the shared capture")
+		}
+		if len(tr.Spans()) != 2 {
+			t.Fatalf("member has %d spans, want 2 (demuxed per-member)", len(tr.Spans()))
+		}
+	}
+}
+
+// TestWriteChromeGolden pins the export shape: valid JSON array, both
+// process groups, per-kernel proc + split-ratio + drift attrs.
+func TestWriteChromeGolden(t *testing.T) {
+	tr := testTrace("req-1")
+	tr.SetDevice("exynos-0")
+	tr.Add("queue", 0, 0, 2*time.Millisecond)
+	tr.AttachKernels(&Capture{Device: "exynos-0", Rows: 1, Spans: []KernelSpan{
+		{Proc: "BigCPU", Side: "CPU", Label: "conv1[cpu]", Kind: "conv",
+			Start: 0, End: 3 * time.Millisecond, P: 0.25, Rows: 1,
+			Predicted: 2 * time.Millisecond, Actual: 3 * time.Millisecond},
+		{Proc: "Mali", Side: "GPU", Label: "conv1[gpu]", Kind: "conv",
+			Start: 0, End: 2 * time.Millisecond, P: 0.75, Rows: 1,
+			Predicted: 2 * time.Millisecond, Actual: 2 * time.Millisecond},
+	}})
+	tr.Finish(6*time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	// 2 process_name + 1 stages thread + 2 kernel threads + 2 stage spans
+	// + 2 kernel spans.
+	if len(events) != 9 {
+		t.Fatalf("got %d events, want 9:\n%s", len(events), buf.String())
+	}
+	byName := map[string]map[string]any{}
+	procs := map[float64]bool{}
+	for _, ev := range events {
+		name := ev["name"].(string)
+		if ev["ph"] == "M" {
+			if name == "process_name" {
+				procs[ev["pid"].(float64)] = true
+			}
+			continue
+		}
+		byName[name] = ev
+	}
+	if !procs[1] || !procs[2] {
+		t.Fatalf("missing process groups: %v", procs)
+	}
+
+	root := byName["request"]
+	if root == nil {
+		t.Fatal("no root request span")
+	}
+	args := root["args"].(map[string]any)
+	if args["model"] != "lenet5" || args["device"] != "exynos-0" || args["sampled"] != true {
+		t.Fatalf("root args wrong: %v", args)
+	}
+	if root["dur"].(float64) != 6000 {
+		t.Fatalf("root dur = %v µs, want 6000", root["dur"])
+	}
+
+	k := byName["conv1[cpu]"]
+	if k == nil {
+		t.Fatal("no conv1[cpu] kernel span")
+	}
+	ka := k["args"].(map[string]any)
+	if ka["proc"] != "CPU" || ka["p"] != 0.25 || ka["kind"] != "conv" {
+		t.Fatalf("kernel attrs wrong: %v", ka)
+	}
+	ratio := ka["error_ratio"].(float64)
+	if ratio < 0.66 || ratio > 0.67 {
+		t.Fatalf("error_ratio = %v, want ≈0.667", ratio)
+	}
+	// The two kernels land on distinct device tracks.
+	if byName["conv1[cpu]"]["tid"] == byName["conv1[gpu]"]["tid"] {
+		t.Fatal("cpu and gpu kernels share a track")
+	}
+	if !strings.Contains(buf.String(), "simulated time") {
+		t.Fatal("device process not labeled as simulated time")
+	}
+}
+
+func TestWriteChromeNoKernels(t *testing.T) {
+	tr := testTrace("t1")
+	tr.Finish(time.Millisecond, fmt.Errorf("queue full"))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// process_name + thread_name + root span only; error attr present.
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[2]["args"].(map[string]any)["error"] != "queue full" {
+		t.Fatalf("error attr missing: %v", events[2])
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(testTrace(fmt.Sprintf("t%d", i)))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	list := r.List()
+	if len(list) != 3 || list[0].ID != "t4" || list[1].ID != "t3" || list[2].ID != "t2" {
+		ids := make([]string, len(list))
+		for i, tr := range list {
+			ids[i] = tr.ID
+		}
+		t.Fatalf("List = %v, want [t4 t3 t2]", ids)
+	}
+	if r.Get("t0") != nil {
+		t.Fatal("evicted trace still retrievable")
+	}
+	if got := r.Get("t3"); got == nil || got.ID != "t3" {
+		t.Fatalf("Get(t3) = %v", got)
+	}
+}
+
+func TestRingMinCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Add(testTrace("a"))
+	r.Add(testTrace("b"))
+	if r.Len() != 1 || r.List()[0].ID != "b" {
+		t.Fatalf("zero-cap ring should hold exactly the newest trace")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.Add(testTrace(fmt.Sprintf("g%d-%d", n, j)))
+				r.List()
+				r.Get(fmt.Sprintf("g%d-%d", n, j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+}

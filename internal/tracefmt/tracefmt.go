@@ -1,0 +1,88 @@
+// Package tracefmt renders the Chrome Trace Event Format (the JSON array
+// variant consumed by chrome://tracing and https://ui.perfetto.dev). It is
+// the shared serializer behind both the simulator's timeline export
+// (internal/sim) and the serving subsystem's per-request traces
+// (internal/trace): one Event type, metadata helpers for naming processes
+// and tracks, and a stable string→track-id mapping.
+//
+// Only the subset of the format the viewers rely on is produced: "M"
+// metadata events (process_name / thread_name) and "X" complete events
+// with microsecond timestamps.
+package tracefmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event is one Trace Event Format entry.
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Micros converts a duration to the format's microsecond floats.
+func Micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// ThreadName returns the metadata event naming one track (tid) of a
+// process.
+func ThreadName(pid, tid int, name string) Event {
+	return Event{Name: "thread_name", Cat: "__metadata", Phase: "M",
+		PID: pid, TID: tid, Args: map[string]any{"name": name}}
+}
+
+// ProcessName returns the metadata event naming one process (pid).
+func ProcessName(pid int, name string) Event {
+	return Event{Name: "process_name", Cat: "__metadata", Phase: "M",
+		PID: pid, Args: map[string]any{"name": name}}
+}
+
+// Complete returns one "X" complete event spanning [start, start+dur).
+func Complete(name, cat string, pid, tid int, start, dur time.Duration, args map[string]any) Event {
+	return Event{Name: name, Cat: cat, Phase: "X",
+		TS: Micros(start), Dur: Micros(dur), PID: pid, TID: tid, Args: args}
+}
+
+// Tracks assigns stable track ids to names in first-appearance order —
+// the per-processor lane mapping of a timeline export.
+type Tracks struct {
+	ids   map[string]int
+	order []string
+}
+
+// NewTracks returns an empty mapping.
+func NewTracks() *Tracks { return &Tracks{ids: make(map[string]int)} }
+
+// ID returns the track id for name, allocating the next id on first use.
+func (t *Tracks) ID(name string) int {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := len(t.order)
+	t.ids[name] = id
+	t.order = append(t.order, name)
+	return id
+}
+
+// Names returns the track names in id order.
+func (t *Tracks) Names() []string { return t.order }
+
+// Write serializes the events as one JSON array. A nil or empty slice
+// yields an empty array, which the viewers accept.
+func Write(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
+	if err := json.NewEncoder(w).Encode(events); err != nil {
+		return fmt.Errorf("tracefmt: encoding trace: %w", err)
+	}
+	return nil
+}

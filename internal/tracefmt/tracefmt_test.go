@@ -1,0 +1,97 @@
+package tracefmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMicros(t *testing.T) {
+	if got := Micros(1500 * time.Nanosecond); got != 1.5 {
+		t.Fatalf("Micros(1.5µs) = %v, want 1.5", got)
+	}
+	if got := Micros(2 * time.Millisecond); got != 2000 {
+		t.Fatalf("Micros(2ms) = %v, want 2000", got)
+	}
+}
+
+func TestMetadataEvents(t *testing.T) {
+	th := ThreadName(1, 3, "CPU")
+	if th.Phase != "M" || th.Cat != "__metadata" || th.Name != "thread_name" {
+		t.Fatalf("ThreadName shape wrong: %+v", th)
+	}
+	if th.PID != 1 || th.TID != 3 || th.Args["name"] != "CPU" {
+		t.Fatalf("ThreadName fields wrong: %+v", th)
+	}
+	pn := ProcessName(2, "device")
+	if pn.Phase != "M" || pn.Name != "process_name" || pn.PID != 2 || pn.Args["name"] != "device" {
+		t.Fatalf("ProcessName fields wrong: %+v", pn)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	ev := Complete("conv1", "kernel", 1, 2, 10*time.Microsecond, 5*time.Microsecond,
+		map[string]any{"p": 0.5})
+	if ev.Phase != "X" || ev.TS != 10 || ev.Dur != 5 || ev.PID != 1 || ev.TID != 2 {
+		t.Fatalf("Complete fields wrong: %+v", ev)
+	}
+	if ev.Args["p"] != 0.5 {
+		t.Fatalf("Complete args wrong: %+v", ev.Args)
+	}
+}
+
+func TestTracksStableIDs(t *testing.T) {
+	tr := NewTracks()
+	if id := tr.ID("CPU"); id != 0 {
+		t.Fatalf("first track id = %d, want 0", id)
+	}
+	if id := tr.ID("GPU"); id != 1 {
+		t.Fatalf("second track id = %d, want 1", id)
+	}
+	if id := tr.ID("CPU"); id != 0 {
+		t.Fatalf("repeat lookup changed id: %d", id)
+	}
+	names := tr.Names()
+	if len(names) != 2 || names[0] != "CPU" || names[1] != "GPU" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatalf("Write(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty write = %q, want []", got)
+	}
+}
+
+// TestWriteRoundTrip pins the JSON field names the trace viewers rely on.
+func TestWriteRoundTrip(t *testing.T) {
+	events := []Event{
+		ThreadName(1, 0, "CPU"),
+		Complete("fc1", "kernel", 1, 0, 0, time.Microsecond, map[string]any{"energy_pj": 12.0}),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(decoded))
+	}
+	for _, key := range []string{"name", "cat", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("missing field %q in serialized event", key)
+		}
+	}
+	if decoded[1]["ph"] != "X" || decoded[1]["dur"] != 1.0 {
+		t.Fatalf("complete event serialized wrong: %v", decoded[1])
+	}
+}
