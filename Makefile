@@ -6,6 +6,7 @@
 #   make cover       coverage gate for the serving subsystem
 #   make chaos-smoke seeded fault-injection run under the race detector
 #   make trace-smoke end-to-end tracing/observability run under the race detector
+#   make overload-smoke saturation run with the full overload stack armed
 #   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
 #   make serve       run the inference server on :8080
 #   make load        drive a running server at 50 qps for 10s
@@ -18,9 +19,9 @@ FUZZTIME ?= 10s
 # (measured 82.5% when the gate was introduced).
 COVER_FLOOR ?= 75
 
-.PHONY: ci build vet test race cover chaos-smoke trace-smoke fuzz-smoke serve load
+.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fuzz-smoke serve load
 
-ci: build vet race cover chaos-smoke trace-smoke fuzz-smoke
+ci: build vet race cover chaos-smoke trace-smoke overload-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +56,14 @@ chaos-smoke:
 trace-smoke:
 	$(GO) test ./internal/server -race -count=1 -run='^TestTraceSmokeServeLoad$$' -v
 
+# Saturation at ~4× offered load with stalls and failures injected, the
+# watchdog, retry budgets, and the brownout ladder armed — all under the
+# race detector. Fails when the top priority class drops below 99%
+# availability, no low-priority work is shed, or any request ends with an
+# untyped error.
+overload-smoke:
+	$(GO) test ./internal/server -race -count=1 -run='^TestOverloadSmokeSaturation$$' -v
+
 # Go only accepts one -fuzz pattern per invocation, so smoke each target
 # separately; -run=^$ skips the regular tests on each pass.
 fuzz-smoke:
@@ -64,6 +73,7 @@ fuzz-smoke:
 	$(GO) test ./internal/f16 -run='^$$' -fuzz='^FuzzFromFloat32$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/f16 -run='^$$' -fuzz='^FuzzArithmetic$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeInferRequest$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzOverloadConfig$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/faults -run='^$$' -fuzz='^FuzzFaultConfig$$' -fuzztime=$(FUZZTIME)
 
 serve:

@@ -16,6 +16,12 @@
 // With -batch N each request carries N input rows, exercising the
 // server's fused micro-batching; goodput is then reported in rows/s as
 // well as requests/s.
+//
+// With -priority high,low requests round-robin through priority classes
+// and the summary adds a per-class table (sent, 2xx, shed, availability,
+// latency percentiles) — the view of the server's brownout ladder
+// shedding from the bottom class up. -min-availability F exits non-zero
+// when the top class present falls below F (the overload-smoke gate).
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mulayer/internal/server"
 )
 
 type inferRequest struct {
@@ -39,6 +47,7 @@ type inferRequest struct {
 	SoC       string `json:"soc,omitempty"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
 	Batch     int    `json:"batch,omitempty"`
+	Priority  string `json:"priority,omitempty"`
 }
 
 type sample struct {
@@ -48,6 +57,7 @@ type sample struct {
 	queueWait time.Duration
 	code      int
 	err       bool
+	priority  string
 }
 
 func percentile(sorted []time.Duration, q float64) time.Duration {
@@ -75,6 +85,8 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "run length")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
 	batch := flag.Int("batch", 1, "input rows per request (exercises server-side micro-batching)")
+	prioFlag := flag.String("priority", "", "priority class(es), comma-separated (round-robin): high, normal, low (empty = server default)")
+	minAvail := flag.Float64("min-availability", 0, "exit non-zero when the top priority class's 2xx availability falls below this fraction (0 = no gate)")
 	flag.Parse()
 
 	if *qps <= 0 {
@@ -82,6 +94,18 @@ func main() {
 	}
 	if *batch < 1 {
 		log.Fatal("-batch must be at least 1")
+	}
+	if *minAvail < 0 || *minAvail > 1 {
+		log.Fatal("-min-availability must be in [0, 1]")
+	}
+	priorities := []string{""}
+	if *prioFlag != "" {
+		priorities = strings.Split(*prioFlag, ",")
+		for _, p := range priorities {
+			if _, err := server.ParsePriority(p); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 	base := *addr
 	if !strings.Contains(base, "://") {
@@ -96,7 +120,7 @@ func main() {
 		samples []sample
 		wg      sync.WaitGroup
 	)
-	fire := func(model string) {
+	fire := func(model, prio string) {
 		defer wg.Done()
 		body, _ := json.Marshal(inferRequest{
 			Model:     model,
@@ -104,10 +128,11 @@ func main() {
 			SoC:       *socClass,
 			TimeoutMS: int(*timeout / time.Millisecond),
 			Batch:     *batch,
+			Priority:  prio,
 		})
 		start := time.Now()
 		resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
-		s := sample{wall: time.Since(start)}
+		s := sample{wall: time.Since(start), priority: prio}
 		if err != nil {
 			s.err = true
 		} else {
@@ -136,7 +161,7 @@ func main() {
 	for time.Since(start) < *duration {
 		<-tick.C
 		wg.Add(1)
-		go fire(models[sent%len(models)])
+		go fire(models[sent%len(models)], priorities[sent%len(priorities)])
 		sent++
 	}
 	wg.Wait()
@@ -188,5 +213,66 @@ func main() {
 			percentile(okWait, 0.95).Round(time.Microsecond),
 			percentile(okWait, 0.99).Round(time.Microsecond),
 			okWait[len(okWait)-1].Round(time.Microsecond))
+	}
+
+	// Per-priority-class breakdown: under the server's brownout ladder the
+	// shed rate should climb from the bottom class up while the top class
+	// keeps its availability.
+	type classStats struct {
+		sent, ok, shed int
+		lat            []time.Duration
+	}
+	byClass := map[string]*classStats{}
+	for _, s := range samples {
+		cs := byClass[s.priority]
+		if cs == nil {
+			cs = &classStats{}
+			byClass[s.priority] = cs
+		}
+		cs.sent++
+		switch {
+		case s.err:
+		case s.code == http.StatusOK:
+			cs.ok++
+			cs.lat = append(cs.lat, s.wall)
+		case s.code == http.StatusServiceUnavailable:
+			cs.shed++
+		}
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		a, _ := server.ParsePriority(classes[i])
+		b, _ := server.ParsePriority(classes[j])
+		return a < b
+	})
+	if len(classes) > 1 || classes[0] != "" {
+		fmt.Printf("%-10s %7s %7s %7s %7s %10s %10s %10s\n",
+			"priority", "sent", "2xx", "shed", "avail", "p50", "p95", "p99")
+		for _, c := range classes {
+			cs := byClass[c]
+			sort.Slice(cs.lat, func(i, j int) bool { return cs.lat[i] < cs.lat[j] })
+			label := c
+			if label == "" {
+				label = "(default)"
+			}
+			fmt.Printf("%-10s %7d %7d %7d %6.1f%% %10v %10v %10v\n",
+				label, cs.sent, cs.ok, cs.shed,
+				100*float64(cs.ok)/float64(cs.sent),
+				percentile(cs.lat, 0.50).Round(time.Microsecond),
+				percentile(cs.lat, 0.95).Round(time.Microsecond),
+				percentile(cs.lat, 0.99).Round(time.Microsecond))
+		}
+	}
+	if *minAvail > 0 && len(classes) > 0 {
+		top := byClass[classes[0]]
+		avail := float64(top.ok) / float64(top.sent)
+		if avail < *minAvail {
+			log.Fatalf("top priority class %q availability %.3f below the -min-availability floor %.3f",
+				classes[0], avail, *minAvail)
+		}
+		log.Printf("top priority class %q availability %.3f meets the %.3f floor", classes[0], avail, *minAvail)
 	}
 }

@@ -11,6 +11,7 @@
 //	mulayer-serve -max-batch 8 -batch-wait 2ms     # dynamic micro-batching
 //	mulayer-serve -faults 'fail=0.1,seed=42'       # chaos: 10% kernel failures
 //	mulayer-serve -faults 'high:die=0.01,proc=gpu' # kill high-end GPUs slowly
+//	mulayer-serve -overload 'admit=on,watchdog=8,queue-wait=50ms,retry-rate=5'
 //
 // Endpoints:
 //
@@ -51,6 +52,15 @@
 // proc=gpu,max=100"); a block without a class applies to every class.
 // -fail-threshold, -quarantine-backoff, and -max-retries tune the circuit
 // breaker.
+//
+// With -overload the server protects itself under sustained saturation:
+// admit=on rejects requests whose predicted completion cannot meet their
+// deadline (and sheds queue-aged work at dispatch), watchdog=F fails any
+// kernel that runs past F× its predicted time into the failover path,
+// retry-rate=R caps failover retries per model class fleet-wide, and
+// queue-wait=DUR arms the brownout ladder (shrink batch windows → stop
+// tracing → shed "low"-priority requests) driven by the recent queue-wait
+// p95 with hysteresis. See docs/serving.md.
 package main
 
 import (
@@ -117,6 +127,7 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "how long an open batch window waits for more same-model requests")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
 	faultSpec := flag.String("faults", "", "fault injection spec: [class:]fail=R,stall=R,stallx=F,die=R,panic=R,seed=N,proc=cpu|gpu|npu,max=N blocks joined by ';' (empty = off)")
+	overloadSpec := flag.String("overload", "", "overload protection spec: admit=on,watchdog=F,queue-wait=DUR,eval=DUR,hold=DUR,retry-rate=R,retry-burst=N (empty = off)")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive device failures before quarantine")
 	quarBackoff := flag.Duration("quarantine-backoff", 2*time.Second, "first quarantine duration (doubles per re-quarantine, capped at 30s)")
 	maxRetries := flag.Int("max-retries", 2, "failover retries per request after a device failure (negative = none)")
@@ -131,6 +142,10 @@ func main() {
 		log.Fatal(err)
 	}
 	faultCfgs, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	overloadCfg, err := server.ParseOverloadSpec(*overloadSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,6 +167,7 @@ func main() {
 		TraceSample:       *traceSample,
 		TraceSlow:         *traceSlow,
 		TraceRing:         *traceRing,
+		Overload:          overloadCfg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -36,6 +36,10 @@ type ExecOpts struct {
 	// recorder here when a batch member is traced; cost estimation always
 	// runs with a nil hook.
 	Trace exec.TraceHook
+	// WatchdogFactor, when > 0, arms the executor's kernel stall watchdog;
+	// see exec.Config.WatchdogFactor. Like the hooks it must not influence
+	// planning, so it rides here rather than on RunConfig.
+	WatchdogFactor float64
 }
 
 // RunBatchPlan is RunBatch under a previously built plan — the serving
@@ -61,14 +65,15 @@ func (rt *Runtime) RunBatchPlanOpts(m *models.Model, plan *partition.Plan, items
 		}
 	}
 	cfg := exec.Config{
-		SoC:         rt.soc,
-		Pipe:        o.Pipe,
-		Numeric:     rc.Numeric,
-		InputParams: m.InputParams,
-		AsyncIssue:  !rc.DisableAsyncIssue,
-		ZeroCopy:    !rc.DisableZeroCopy,
-		FaultHook:   opts.Faults,
-		TraceHook:   opts.Trace,
+		SoC:            rt.soc,
+		Pipe:           o.Pipe,
+		Numeric:        rc.Numeric,
+		InputParams:    m.InputParams,
+		AsyncIssue:     !rc.DisableAsyncIssue,
+		ZeroCopy:       !rc.DisableZeroCopy,
+		FaultHook:      opts.Faults,
+		TraceHook:      opts.Trace,
+		WatchdogFactor: opts.WatchdogFactor,
 	}
 	return exec.RunFused(m.Graph, plan, items, cfg)
 }

@@ -64,6 +64,41 @@ type Config struct {
 	// traces and predictor-drift telemetry from it). Like FaultHook, the
 	// nil hook costs nothing: untraced requests never pay for tracing.
 	TraceHook TraceHook
+	// WatchdogFactor, when > 0, arms the kernel stall watchdog: every
+	// kernel gets a budget of WatchdogFactor × its cost-model predicted
+	// duration, and a kernel whose post-hook duration exceeds the budget
+	// is booked only up to the budget and aborts the run (at the end of
+	// the current plan step) with a *WatchdogError. The serving layer
+	// treats that like a device failure — failover plus quarantine — so a
+	// stalled kernel cannot hold its batch, or its batchmates, hostage.
+	// Overruns can only originate from FaultHook (the simulator otherwise
+	// books exactly the predicted duration), so the watchdog costs nothing
+	// on the healthy path. Factors below 1 would trip on every kernel;
+	// callers validate the range.
+	WatchdogFactor float64
+}
+
+// WatchdogError reports a kernel that exceeded its stall-watchdog budget.
+// It blames the device, not the request: the serving scheduler fails the
+// batch over to another device and advances the stalled device's circuit
+// breaker, exactly as for an injected fault or a recovered panic.
+type WatchdogError struct {
+	// Proc is the processor model name the kernel ran on.
+	Proc string
+	// ProcType is the processor class (CPU/GPU/NPU).
+	ProcType device.Type
+	// Kernel is the kernel label.
+	Kernel string
+	// Budget is the allowed duration (predicted × watchdog factor); Took
+	// is the duration the kernel would have run without the watchdog.
+	Budget time.Duration
+	Took   time.Duration
+}
+
+// Error implements error.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf("exec: watchdog: kernel %s on %s ran %v, budget %v",
+		e.Kernel, e.Proc, e.Took, e.Budget)
 }
 
 // FaultHook intercepts one scheduled kernel: it receives the processor,
@@ -186,13 +221,21 @@ type runner struct {
 // recorded on the runner and aborts the run at the end of the step. The
 // kernel is still booked on failure — the processor was occupied when it
 // faulted, and the timeline stays internally consistent for the partial
-// report.
+// report. An armed watchdog bounds the post-hook duration to
+// WatchdogFactor × the predicted duration: an over-budget kernel is
+// booked only up to its budget (the watchdog killed it there) and fails
+// the run with a *WatchdogError.
 func (r *runner) schedule(p *device.Processor, label string, ready, dur time.Duration, energyPJ float64) (start, end time.Duration) {
 	if r.cfg.FaultHook != nil && r.failure == nil {
 		d, err := r.cfg.FaultHook(p, label, dur)
-		if err != nil {
+		budget := time.Duration(r.cfg.WatchdogFactor * float64(dur))
+		switch {
+		case err != nil:
 			r.failure = err
-		} else {
+		case r.cfg.WatchdogFactor > 0 && d > budget:
+			r.failure = &WatchdogError{Proc: p.Name, ProcType: p.Type, Kernel: label, Budget: budget, Took: d}
+			dur = budget
+		default:
 			dur = d
 		}
 	}

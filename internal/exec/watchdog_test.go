@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mulayer/internal/device"
+)
+
+// TestWatchdogTripsOnStall: a kernel stalled past its budget must abort
+// the run with a typed *WatchdogError carrying the processor and budget,
+// and the partial timeline must book the budget, not the full stall —
+// the watchdog killed the kernel at the budget boundary.
+func TestWatchdogTripsOnStall(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	base, err := Run(m.Graph, plan, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		calls++
+		if calls == 3 {
+			return d * 100, nil // one enormous stall
+		}
+		return d, nil
+	}
+	cfg.WatchdogFactor = 8
+	res, err := Run(m.Graph, plan, nil, cfg)
+	var wd *WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("got %v, want *WatchdogError", err)
+	}
+	if wd.Proc == "" || wd.Kernel == "" {
+		t.Fatalf("watchdog error missing identity: %+v", wd)
+	}
+	if wd.Took <= wd.Budget {
+		t.Fatalf("trip with Took %v <= Budget %v", wd.Took, wd.Budget)
+	}
+	if res != nil && res.Report.Latency > base.Report.Latency*100 {
+		t.Fatalf("partial report booked the full stall: %v vs base %v", res.Report.Latency, base.Report.Latency)
+	}
+}
+
+// TestWatchdogWithinBudgetPasses: stalls inside the budget pass through
+// untouched — the watchdog only converts runaway stalls into failures.
+func TestWatchdogWithinBudgetPasses(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		return d * 4, nil // everywhere stalled, but within an 8× budget
+	}
+	cfg.WatchdogFactor = 8
+	if _, err := Run(m.Graph, plan, nil, cfg); err != nil {
+		t.Fatalf("within-budget stall failed the run: %v", err)
+	}
+}
+
+// TestWatchdogDisarmedWithoutFactor: factor 0 keeps the PR 3 behavior —
+// arbitrary stalls lengthen the makespan but never fail the run.
+func TestWatchdogDisarmedWithoutFactor(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		return d * 1000, nil
+	}
+	if _, err := Run(m.Graph, plan, nil, cfg); err != nil {
+		t.Fatalf("disarmed watchdog failed a stalled run: %v", err)
+	}
+}
+
+// TestWatchdogFusedRun: the fused (batched) path takes the same abort —
+// a stalled device cannot hold a batch's members hostage.
+func TestWatchdogFusedRun(t *testing.T) {
+	m, plan, cfg := faultModel(t)
+	calls := 0
+	cfg.FaultHook = func(p *device.Processor, kernel string, d time.Duration) (time.Duration, error) {
+		calls++
+		if calls == 2 {
+			return d * 100, nil
+		}
+		return d, nil
+	}
+	cfg.WatchdogFactor = 8
+	var wd *WatchdogError
+	if _, err := RunFused(m.Graph, plan, []FusedItem{{Rows: 2}, {Rows: 1}}, cfg); !errors.As(err, &wd) {
+		t.Fatalf("fused: got %v, want *WatchdogError", err)
+	}
+}

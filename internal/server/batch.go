@@ -72,8 +72,11 @@ func (s *Scheduler) enqueueLocked(p *pending) {
 	if g == nil {
 		g = &batchGroup{key: key, model: p.model, opened: time.Now()}
 		s.open[key] = g
-		if s.cfg.MaxBatch > 1 && s.cfg.BatchWait > 0 {
-			g.timer = time.AfterFunc(s.cfg.BatchWait, func() {
+		// The window length comes from the brownout ladder: under overload
+		// the configured wait shrinks so queue time is not spent holding
+		// windows open for occupancy.
+		if wait := s.effectiveBatchWait(); s.cfg.MaxBatch > 1 && wait > 0 {
+			g.timer = time.AfterFunc(wait, func() {
 				s.mu.Lock()
 				defer s.mu.Unlock()
 				if !g.flushed {

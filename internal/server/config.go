@@ -120,6 +120,12 @@ type Config struct {
 	// SlowLog receives slow-request log lines, one JSON object per line
 	// (default os.Stderr).
 	SlowLog io.Writer
+
+	// Overload configures overload protection: deadline-aware admission,
+	// the kernel stall watchdog, fleet-wide retry budgets, and the
+	// brownout degradation ladder. The zero value disables all of them.
+	// See docs/serving.md and ParseOverloadSpec.
+	Overload OverloadConfig
 }
 
 // tracingEnabled reports whether requests record traces at all.
@@ -232,6 +238,10 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SlowLog == nil {
 		c.SlowLog = os.Stderr
 	}
+	if err := c.Overload.Validate(); err != nil {
+		return c, fmt.Errorf("server: %w", err)
+	}
+	c.Overload = c.Overload.withDefaults()
 	return c, nil
 }
 

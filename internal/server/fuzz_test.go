@@ -76,3 +76,59 @@ func FuzzDecodeInferRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzOverloadConfig hammers the -overload spec parser with arbitrary
+// strings: unknown keys, non-finite numbers, negative durations, and
+// garbage must come back as errors — never a panic — and any config the
+// parser accepts must itself pass Validate and survive withDefaults
+// (NewScheduler runs both on every accepted spec).
+func FuzzOverloadConfig(f *testing.F) {
+	seeds := []string{
+		"",
+		"admit=on",
+		"admit=on,watchdog=8,queue-wait=50ms,eval=10ms,hold=1s,retry-rate=5,retry-burst=10",
+		"watchdog=1",
+		"watchdog=0.5",
+		"watchdog=NaN",
+		"watchdog=-Inf",
+		"watchdog=1e309",
+		"queue-wait=10ms",
+		"queue-wait=-1s",
+		"queue-wait=9223372036854775807ns",
+		"eval=0s,hold=0s",
+		"retry-rate=0.0001,retry-burst=1",
+		"retry-rate=Inf",
+		"retry-burst=-1",
+		"admit=maybe",
+		"admit",
+		"bogus=1",
+		",,,",
+		"admit=on,admit=off",
+		"queue-wait=50ms,queue-wait=-50ms",
+		"=",
+		"watchdog==8",
+		"admit=on\x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseOverloadSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("parser accepted %q but Validate rejects the result: %v", spec, verr)
+		}
+		def := cfg.withDefaults()
+		if verr := def.Validate(); verr != nil {
+			t.Fatalf("withDefaults broke a valid config from %q: %v", spec, verr)
+		}
+		if cfg.QueueWaitP95 > 0 && (def.EvalEvery <= 0 || def.Hold <= 0) {
+			t.Fatalf("ladder enabled by %q but defaults left EvalEvery=%v Hold=%v", spec, def.EvalEvery, def.Hold)
+		}
+		if cfg.RetryRate > 0 && def.RetryBurst < 1 {
+			t.Fatalf("retry budget enabled by %q but burst defaulted to %d", spec, def.RetryBurst)
+		}
+	})
+}

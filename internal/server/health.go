@@ -7,6 +7,7 @@ import (
 
 	"mulayer/internal/core"
 	"mulayer/internal/device"
+	"mulayer/internal/exec"
 	"mulayer/internal/faults"
 )
 
@@ -41,11 +42,14 @@ func (e *DeviceError) Error() string {
 func (e *DeviceError) Unwrap() error { return e.Cause }
 
 // isDeviceFailure reports whether err blames the device (failover) rather
-// than the request (terminal error).
+// than the request (terminal error). A watchdog trip counts: a kernel
+// overrunning its predicted-time budget is a stalled device, and the
+// circuit breaker should treat it like any other device fault.
 func isDeviceFailure(err error) bool {
 	var de *DeviceError
 	var f *faults.Fault
-	return errors.As(err, &de) || errors.As(err, &f)
+	var wd *exec.WatchdogError
+	return errors.As(err, &de) || errors.As(err, &f) || errors.As(err, &wd)
 }
 
 // healthState is the circuit-breaker state of one pool device.

@@ -34,8 +34,9 @@ type pending struct {
 	model     *models.Model
 	modelName string
 	mech      core.Mechanism
-	soc       string // requested class ("" = any device)
-	rows      int    // rows this request contributes to its batch (≥1)
+	soc       string   // requested class ("" = any device)
+	rows      int      // rows this request contributes to its batch (≥1)
+	priority  Priority // shedding class (brownout ladder level 3 rejects low)
 	enqueued  time.Time
 	done      chan outcome // buffered(1): the worker never blocks on it
 	// tr is the request's trace (nil when tracing is off). The handler
@@ -82,6 +83,13 @@ type Scheduler struct {
 	caches map[string]*core.PlanCache
 	mets   *schedMetrics
 
+	// overload is the brownout-ladder controller (nil when the ladder is
+	// off); retryB is the fleet-wide failover retry budget (nil when off);
+	// overloadStop ends the controller's evaluation loop at drain.
+	overload     *overloadController
+	retryB       *retryBudget
+	overloadStop chan struct{}
+
 	mu       sync.Mutex
 	queued   int // admitted but unfinished, across all devices
 	draining bool
@@ -112,6 +120,11 @@ type schedMetrics struct {
 	quarantine *metrics.CounterVec   // device, transition
 	degraded   *metrics.CounterVec   // device
 	predErr    *metrics.HistogramVec // proc, kind, mechanism
+
+	admissionRejects *metrics.CounterVec // reason: deadline_infeasible | queue_aged | priority_shed
+	watchdogTrips    *metrics.CounterVec // proc (the processor that stalled)
+	retryExhausted   *metrics.CounterVec // model
+	overloadSteps    *metrics.CounterVec // direction: up | down
 }
 
 func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
@@ -148,6 +161,14 @@ func newSchedMetrics(reg *metrics.Registry) *schedMetrics {
 			"Latency predictor drift: predicted/actual kernel time per processor and layer kind "+
 				"(proc \"all\", kind \"network\" rows compare whole-request makespans).",
 			metrics.RatioBuckets(), "proc", "kind", "mechanism"),
+		admissionRejects: metrics.NewCounterVec(reg, "mulayer_admission_rejects_total",
+			"Requests shed by overload protection, by reason.", "reason"),
+		watchdogTrips: metrics.NewCounterVec(reg, "mulayer_watchdog_trips_total",
+			"Kernel stall watchdog trips, by processor.", "proc"),
+		retryExhausted: metrics.NewCounterVec(reg, "mulayer_retry_budget_exhausted_total",
+			"Failover retries refused by the per-model retry budget.", "model"),
+		overloadSteps: metrics.NewCounterVec(reg, "mulayer_overload_transitions_total",
+			"Brownout ladder level transitions, by direction.", "direction"),
 	}
 }
 
@@ -177,7 +198,16 @@ func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
 		open:     make(map[groupKey]*batchGroup),
 		hardCtx:  hardCtx,
 		hardKill: hardKill,
+		retryB:   newRetryBudget(cfg.Overload),
 	}
+	if cfg.Overload.QueueWaitP95 > 0 {
+		s.overload = newOverloadController(cfg.Overload)
+		s.overloadStop = make(chan struct{})
+	}
+	metrics.NewGaugeFunc(reg, "mulayer_overload_level",
+		"Current brownout ladder level (0 = normal service).", func() float64 {
+			return float64(s.overload.level())
+		})
 	metrics.NewGaugeFunc(reg, "mulayer_queue_depth",
 		"Admitted but unfinished requests across all devices.", func() float64 {
 			s.mu.Lock()
@@ -202,7 +232,102 @@ func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
 		s.wg.Add(1)
 		go s.worker(d)
 	}
+	if s.overload != nil {
+		s.wg.Add(1)
+		go s.overloadLoop()
+	}
 	return s, nil
+}
+
+// overloadLoop is the brownout controller's evaluation ticker: one ladder
+// step decision per EvalEvery, until drain.
+func (s *Scheduler) overloadLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Overload.EvalEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.overloadStop:
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			empty := s.queued == 0
+			s.mu.Unlock()
+			switch s.overload.evaluate(now, empty) {
+			case "up":
+				s.mets.overloadSteps.With("up").Inc()
+			case "down":
+				s.mets.overloadSteps.With("down").Inc()
+			}
+		}
+	}
+}
+
+// OverloadLevel returns the current brownout ladder level (0 when the
+// ladder is disabled or calm).
+func (s *Scheduler) OverloadLevel() int { return s.overload.level() }
+
+// OverloadStatus is the overload-protection section of /statusz.
+type OverloadStatus struct {
+	Enabled   bool                 `json:"enabled"`
+	Config    OverloadStatusConfig `json:"config"`
+	Level     int                  `json:"level"`
+	P95MS     float64              `json:"queue_wait_p95_ms"`
+	StepsUp   int64                `json:"steps_up"`
+	StepsDown int64                `json:"steps_down"`
+	// RetryTokens is the per-model retry-budget token level (omitted when
+	// budgets are off; a model appears after its first failover attempt).
+	RetryTokens map[string]float64 `json:"retry_tokens,omitempty"`
+}
+
+// OverloadStatusConfig echoes the active overload configuration.
+type OverloadStatusConfig struct {
+	DeadlineAdmission bool    `json:"deadline_admission"`
+	WatchdogFactor    float64 `json:"watchdog_factor"`
+	QueueWaitP95MS    float64 `json:"queue_wait_p95_threshold_ms"`
+	RetryRate         float64 `json:"retry_rate"`
+	RetryBurst        int     `json:"retry_burst"`
+}
+
+// OverloadStatus reports the overload controller's state for /statusz.
+func (s *Scheduler) OverloadStatus() OverloadStatus {
+	o := s.cfg.Overload
+	level, p95, up, down := s.overload.snapshot()
+	return OverloadStatus{
+		Enabled: o.Enabled(),
+		Config: OverloadStatusConfig{
+			DeadlineAdmission: o.DeadlineAdmission,
+			WatchdogFactor:    o.WatchdogFactor,
+			QueueWaitP95MS:    float64(o.QueueWaitP95) / float64(time.Millisecond),
+			RetryRate:         o.RetryRate,
+			RetryBurst:        o.RetryBurst,
+		},
+		Level:       level,
+		P95MS:       float64(p95) / float64(time.Millisecond),
+		StepsUp:     up,
+		StepsDown:   down,
+		RetryTokens: s.retryB.tokens(time.Now()),
+	}
+}
+
+// effectiveBatchWait is the batching window under the brownout ladder:
+// from level 1 up the configured window is halved per level, trading batch
+// occupancy back for queue-wait latency.
+func (s *Scheduler) effectiveBatchWait() time.Duration {
+	w := s.cfg.BatchWait
+	if lvl := s.overload.level(); lvl >= overloadLevelShrinkWindow {
+		w >>= uint(lvl)
+	}
+	return w
+}
+
+// wallOf converts a simulated duration to predicted wall time under the
+// pacing time scale (0 when pacing is off — predictions then cost nothing).
+func (s *Scheduler) wallOf(sim time.Duration) time.Duration {
+	if s.cfg.TimeScale <= 0 {
+		return 0
+	}
+	return time.Duration(float64(sim) / s.cfg.TimeScale)
 }
 
 // Devices returns the pool (for /statusz).
@@ -275,7 +400,7 @@ func (s *Scheduler) RetryAfter() int {
 			}
 		}
 		openCost += cheapest
-		if rem := s.cfg.BatchWait - time.Since(g.opened); rem > windowRem {
+		if rem := s.effectiveBatchWait() - time.Since(g.opened); rem > windowRem {
 			windowRem = rem
 		}
 	}
@@ -296,22 +421,59 @@ func (s *Scheduler) RetryAfter() int {
 	return n
 }
 
-// Submit admits one request into its batching window and waits out its
-// outcome. socClass may be empty (any device) or name a configured class;
-// rows is the number of input rows the request contributes (≥1). The
-// returned outcome's err distinguishes admission rejections (ErrQueueFull,
-// ErrDraining, ErrNoDevice), deadline expiry (the context error), and
-// planner errors.
-func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string, rows int) outcome {
-	return s.SubmitTraced(ctx, modelName, m, mech, socClass, rows, nil)
+// Request is one inference submission's scheduling parameters.
+type Request struct {
+	// ModelName keys the model in metrics and the retry budget.
+	ModelName string
+	// Model is the spec model to run.
+	Model *models.Model
+	// Mech is the execution mechanism.
+	Mech core.Mechanism
+	// SoC may be empty (any device) or name a configured class.
+	SoC string
+	// Rows is the number of input rows the request contributes (≥1).
+	Rows int
+	// Priority is the request's shedding class (zero value PriorityHigh;
+	// the HTTP layer defaults absent fields to PriorityNormal).
+	Priority Priority
+	// Trace, when non-nil, receives queue, batch-window, plan, and kernel
+	// spans as the request moves through the scheduler.
+	Trace *trace.Trace
 }
 
-// SubmitTraced is Submit with a request trace attached (nil for none):
-// the serving path records queue, batch-window, plan, and kernel spans on
-// it as the request moves through the scheduler.
+// Submit admits one request into its batching window and waits out its
+// outcome. The returned outcome's err distinguishes admission rejections
+// (ErrQueueFull, ErrDraining, ErrNoDevice, ErrPriorityShed,
+// ErrDeadlineInfeasible), deadline expiry (the context error), and
+// planner errors.
+func (s *Scheduler) Submit(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string, rows int) outcome {
+	return s.SubmitRequest(ctx, Request{
+		ModelName: modelName, Model: m, Mech: mech, SoC: socClass,
+		Rows: rows, Priority: PriorityNormal,
+	})
+}
+
+// SubmitTraced is Submit with a request trace attached (nil for none).
 func (s *Scheduler) SubmitTraced(ctx context.Context, modelName string, m *models.Model, mech core.Mechanism, socClass string, rows int, tr *trace.Trace) outcome {
+	return s.SubmitRequest(ctx, Request{
+		ModelName: modelName, Model: m, Mech: mech, SoC: socClass,
+		Rows: rows, Priority: PriorityNormal, Trace: tr,
+	})
+}
+
+// SubmitRequest is the full submission API: Submit with a priority class
+// and an optional trace.
+func (s *Scheduler) SubmitRequest(ctx context.Context, req Request) outcome {
+	modelName, m, mech := req.ModelName, req.Model, req.Mech
+	socClass, rows, tr := req.SoC, req.Rows, req.Trace
 	if rows < 1 {
 		rows = 1
+	}
+	// Brownout level 3: the lowest class is rejected before any planning
+	// work — shedding must be O(1), not O(queue).
+	if req.Priority >= PriorityLow && s.overload.level() >= overloadLevelShedLow {
+		s.mets.admissionRejects.With("priority_shed").Inc()
+		return outcome{err: ErrPriorityShed}
 	}
 	// Warm the single-row estimate on every eligible class before the
 	// admission decision: it validates the class constraint and surfaces
@@ -342,6 +504,7 @@ func (s *Scheduler) SubmitTraced(ctx context.Context, modelName string, m *model
 		mech:      mech,
 		soc:       socClass,
 		rows:      rows,
+		priority:  req.Priority,
 		enqueued:  time.Now(),
 		done:      make(chan outcome, 1),
 		tr:        tr,
@@ -357,6 +520,21 @@ func (s *Scheduler) SubmitTraced(ctx context.Context, modelName string, m *model
 		s.mu.Unlock()
 		s.mets.rejected.With("queue_full").Inc()
 		return outcome{err: ErrQueueFull}
+	}
+	// Deadline-aware admission: the predictor already knows the cheapest
+	// device's committed backlog and this request's fused cost; if that
+	// predicted completion (plus the batching window it may wait out)
+	// cannot fit the deadline, reject now with a typed 503 instead of
+	// letting the request rot in the queue toward a certain 504. Inert
+	// without pacing: wall predictions are then 0.
+	if s.cfg.Overload.DeadlineAdmission {
+		now := time.Now()
+		if eligible, wall := s.retryCostLocked(p, 0, now); eligible &&
+			!deadlineAllows(ctx, wall+s.effectiveBatchWait(), now) {
+			s.mu.Unlock()
+			s.mets.admissionRejects.With("deadline_infeasible").Inc()
+			return outcome{err: fmt.Errorf("%w: predicted completion %v exceeds the deadline", ErrDeadlineInfeasible, wall)}
+		}
 	}
 	s.queued++
 	s.enqueueLocked(p)
@@ -449,6 +627,7 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 	for i, p := range g.items {
 		wait := serveStart.Sub(p.enqueued)
 		s.mets.queueWait.With(d.class).Observe(wait.Seconds())
+		s.overload.observe(serveStart, wait)
 		outs[i] = outcome{device: d.name, class: d.class, queueWait: wait}
 		if p.tr != nil {
 			// Two wall-clock stages per attempt: the open batching window
@@ -471,6 +650,12 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 			// Expired while queued: never touched the device.
 			outs[i].err = p.ctx.Err()
 			s.mets.timeouts.With("queued").Inc()
+		case s.cfg.Overload.DeadlineAdmission && !deadlineAllows(p.ctx, s.wallOf(g.cost), serveStart):
+			// CoDel-style queue aging: feasible at admission, but the queue
+			// wait has since consumed the deadline's headroom — shed the
+			// oldest-past-feasibility work before it burns device time.
+			outs[i].err = fmt.Errorf("%w: shed after %v queued", ErrDeadlineInfeasible, serveStart.Sub(p.enqueued))
+			s.mets.admissionRejects.With("queue_aged").Inc()
 		default:
 			live = append(live, i)
 		}
@@ -558,6 +743,10 @@ func (s *Scheduler) serveBatch(d *poolDevice, g *batchGroup) {
 // deadline too tight, no healthy device, draining). Nothing is dropped
 // silently: every member either requeues or settles here.
 func (s *Scheduler) failMembers(d *poolDevice, g *batchGroup, cause error) {
+	var wd *exec.WatchdogError
+	if errors.As(cause, &wd) {
+		s.mets.watchdogTrips.With(wd.Proc).Inc()
+	}
 	var f *faults.Fault
 	var permDown core.ProcSet
 	if errors.As(cause, &f) {
@@ -594,6 +783,14 @@ func (s *Scheduler) failMembers(d *poolDevice, g *batchGroup, cause error) {
 		case p.attempts >= s.cfg.MaxRetries:
 			terminal = fmt.Errorf("%w (after %d attempts): %w", ErrRetriesExhausted, p.attempts+1, cause)
 		default:
+			if !s.retryB.allow(p.modelName, now) {
+				// The model's fleet-wide retry budget is spent: degrade to a
+				// fast typed 503 instead of amplifying a correlated fault
+				// into a retry storm.
+				terminal = fmt.Errorf("%w: %w", ErrRetryBudgetExhausted, cause)
+				s.mets.retryExhausted.With(p.modelName).Inc()
+				break
+			}
 			eligible, wall := s.retryCostLocked(p, exclude, now)
 			switch {
 			case !eligible:
@@ -691,6 +888,10 @@ func (s *Scheduler) runBatchPaced(d *poolDevice, g *batchGroup, fused []exec.Fus
 	if d.faults != nil {
 		opts.Faults = d.faults.Kernel
 	}
+	// The stall watchdog only arms when a fault hook is present: without
+	// one every kernel books exactly its predicted duration, so there is
+	// nothing to catch and the healthy path pays nothing.
+	opts.WatchdogFactor = s.cfg.Overload.WatchdogFactor
 	// With traced members aboard, the executor's trace hook records every
 	// booked kernel into one shared capture (the worker is the only
 	// goroutine appending) and feeds the predictor-drift histogram: the
@@ -772,6 +973,9 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+		if s.overloadStop != nil {
+			close(s.overloadStop)
+		}
 		groups := make([]*batchGroup, 0, len(s.open))
 		for _, g := range s.open {
 			groups = append(groups, g)
@@ -807,7 +1011,8 @@ func statusFor(err error) int {
 		return 200
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining),
 		errors.Is(err, ErrRetriesExhausted), errors.Is(err, ErrDeadlineTooTight),
-		errors.Is(err, ErrNoHealthyDevice):
+		errors.Is(err, ErrNoHealthyDevice), errors.Is(err, ErrDeadlineInfeasible),
+		errors.Is(err, ErrRetryBudgetExhausted), errors.Is(err, ErrPriorityShed):
 		return 503
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return 504

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"sort"
@@ -128,6 +129,10 @@ type InferRequest struct {
 	// Batch is the number of input rows this request contributes to its
 	// fused micro-batch (default 1, max 64).
 	Batch int `json:"batch,omitempty"`
+	// Priority is the request's shedding class: "high", "normal" (default),
+	// or "low". Under brownout the lowest class is rejected first; see
+	// docs/serving.md.
+	Priority string `json:"priority,omitempty"`
 	// Shape and Input optionally carry one input row for validation:
 	// Shape's element product must match the model's input and Input must
 	// hold exactly that many finite values. The serving pool simulates
@@ -166,6 +171,9 @@ func decodeInferRequest(body []byte) (InferRequest, error) {
 	}
 	if req.Batch > maxClientRows {
 		return req, fmt.Errorf("batch %d exceeds the per-request limit %d", req.Batch, maxClientRows)
+	}
+	if _, err := ParsePriority(req.Priority); err != nil {
+		return req, err
 	}
 	if len(req.Shape) == 0 && len(req.Input) > 0 {
 		return req, fmt.Errorf("input payload of %d values has no shape", len(req.Input))
@@ -263,6 +271,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if rows < 1 {
 		rows = 1
 	}
+	prio, _ := ParsePriority(req.Priority) // validated by decodeInferRequest
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -282,7 +291,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if tr != nil {
 		tr.Add("admission", 0, 0, tr.Offset(time.Now()))
 	}
-	out := s.sched.SubmitTraced(ctx, req.Model, m, mech, req.SoC, rows, tr)
+	out := s.sched.SubmitRequest(ctx, Request{
+		ModelName: req.Model, Model: m, Mech: mech, SoC: req.SoC,
+		Rows: rows, Priority: prio, Trace: tr,
+	})
 	wall := time.Since(reqStart)
 	if tr != nil {
 		s.finishTrace(ctx, tr, out, wall)
@@ -290,7 +302,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	code := statusFor(out.err)
 	if out.err != nil {
 		if code == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", fmt.Sprint(s.sched.RetryAfter()))
+			// ±25% jitter decorrelates the retries of clients rejected
+			// together, so they do not return as one herd.
+			w.Header().Set("Retry-After", fmt.Sprint(jitterRetryAfter(s.sched.RetryAfter(), rand.Float64())))
 		}
 		writeJSON(w, code, errorBody{Error: out.err.Error()})
 		return
@@ -434,7 +448,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		// per (processor, layer kind, mechanism); 1.0 is an exact predictor.
 		PredictorDrift []driftSummary `json:"predictor_drift,omitempty"`
 		Tracing        traceStatus    `json:"tracing"`
-		Devices        []deviceStatus `json:"devices"`
+		// Overload is the overload-protection state: brownout ladder level,
+		// recent queue-wait p95, transition counts, retry-budget tokens.
+		Overload OverloadStatus `json:"overload"`
+		Devices  []deviceStatus `json:"devices"`
 	}{
 		UptimeS:        time.Since(s.start).Seconds(),
 		QueueDepth:     s.sched.QueueDepth(),
@@ -448,6 +465,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Wall:           summarizeLatency(s.sched.mets.wallLat),
 		PredictorDrift: summarizeDrift(s.sched.mets.predErr),
 		Tracing:        s.traceStatus(),
+		Overload:       s.sched.OverloadStatus(),
 	}
 	for _, d := range devs {
 		h := d.health()

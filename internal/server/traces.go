@@ -20,6 +20,11 @@ func (s *Server) newTrace(model, mechName, soc string, rows int, begin time.Time
 	if s.traces == nil {
 		return nil
 	}
+	// Brownout level 2 drops trace sampling to zero: under overload the
+	// per-kernel capture overhead goes before any request is refused.
+	if s.sched.OverloadLevel() >= overloadLevelNoTrace {
+		return nil
+	}
 	n := s.traceSeq.Add(1)
 	sampled := s.sampleN > 0 && n%s.sampleN == 0
 	return trace.New(fmt.Sprintf("req-%06d", n), model, mechName, soc, rows, begin, sampled)
