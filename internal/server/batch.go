@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mulayer/internal/core"
+	"mulayer/internal/dispatch"
 	"mulayer/internal/models"
 )
 
@@ -92,14 +93,14 @@ func (s *Scheduler) enqueueLocked(p *pending) {
 	}
 }
 
-// dispatchLocked seals a window and hands it to the device with the
-// minimum predicted completion time for the fused batch — the makespan
-// argument of the single-request dispatcher, evaluated at the batch's
-// actual row count via the per-class plan cache. Devices that are
-// quarantined (backoff pending), probing, dead, or on the group's
-// exclusion list are skipped; a degraded device is costed under its own
-// degraded plan. Picking a quarantined-past-backoff device claims its
-// half-open probe slot. Caller holds s.mu.
+// dispatchLocked seals a window and hands it to the device the placement
+// policy picks — by default the minimum predicted completion time for the
+// fused batch: the makespan argument of the single-request dispatcher,
+// evaluated at the batch's actual row count via the per-class plan cache.
+// Devices that are quarantined (backoff pending), probing, dead, or on
+// the group's exclusion list are skipped; a degraded device is costed
+// under its own degraded plan. Picking a quarantined-past-backoff device
+// claims its half-open probe slot. Caller holds s.mu.
 func (s *Scheduler) dispatchLocked(g *batchGroup) {
 	g.flushed = true
 	if g.timer != nil {
@@ -110,9 +111,15 @@ func (s *Scheduler) dispatchLocked(g *batchGroup) {
 
 	now := time.Now()
 	g.dispatched = now
-	var best *poolDevice
-	var bestRC core.RunConfig
-	var bestCost, bestDone time.Duration
+	// Candidates for the shared placement policy: every eligible device
+	// with its predicted completion for this batch (backlog + fused cost).
+	type devChoice struct {
+		d    *poolDevice
+		rc   core.RunConfig
+		cost time.Duration
+	}
+	var cands []dispatch.Candidate
+	var choices []devChoice
 	var lastErr error
 	classSeen := false
 	for _, d := range s.devices {
@@ -132,11 +139,11 @@ func (s *Scheduler) dispatchLocked(g *batchGroup) {
 			lastErr = err
 			continue
 		}
-		if done := d.predictedCompletion() + cost; best == nil || done < bestDone {
-			best, bestRC, bestCost, bestDone = d, rc, cost, done
-		}
+		cands = append(cands, dispatch.Candidate{ID: d.name, Done: d.predictedCompletion() + cost})
+		choices = append(choices, devChoice{d: d, rc: rc, cost: cost})
 	}
-	if best == nil {
+	ranked := s.place.Rank(g.key.model, cands)
+	if len(ranked) == 0 {
 		switch {
 		case !classSeen:
 			s.settleGroupLocked(g, ErrNoDevice)
@@ -147,8 +154,10 @@ func (s *Scheduler) dispatchLocked(g *batchGroup) {
 		}
 		return
 	}
+	pick := choices[ranked[0].Index]
+	best, bestCost := pick.d, pick.cost
 	g.cost = bestCost
-	g.rc = bestRC
+	g.rc = pick.rc
 	if best.noteDispatch() {
 		g.probe = true
 		s.mets.quarantine.With(best.name, "probe").Inc()

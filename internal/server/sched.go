@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mulayer/internal/core"
+	"mulayer/internal/dispatch"
 	"mulayer/internal/exec"
 	"mulayer/internal/faults"
 	"mulayer/internal/models"
@@ -16,12 +17,14 @@ import (
 	"mulayer/internal/trace"
 )
 
-// Admission errors, mapped to HTTP statuses by the handler.
+// Admission errors, mapped to HTTP statuses by the handler. Queue-full
+// and draining are the shared policy's errors (internal/dispatch), so the
+// node and fleet tiers reject identically.
 var (
 	// ErrQueueFull means the bounded queue is at capacity (503).
-	ErrQueueFull = errors.New("server: queue full")
+	ErrQueueFull = dispatch.ErrQueueFull
 	// ErrDraining means the scheduler no longer admits requests (503).
-	ErrDraining = errors.New("server: draining")
+	ErrDraining = dispatch.ErrDraining
 	// ErrNoDevice means no pool device matches the requested SoC class
 	// (400).
 	ErrNoDevice = errors.New("server: no matching device")
@@ -82,6 +85,12 @@ type Scheduler struct {
 	// mechanism, rows) key instead of once per request.
 	caches map[string]*core.PlanCache
 	mets   *schedMetrics
+
+	// admit and place are the pluggable admission and placement policies
+	// shared with the fleet tier (Config.Admission / Config.Dispatch;
+	// defaults: bounded queue, minimum predicted completion).
+	admit dispatch.Admission
+	place dispatch.Policy
 
 	// overload is the brownout-ladder controller (nil when the ladder is
 	// off); retryB is the fleet-wide failover retry budget (nil when off);
@@ -195,6 +204,8 @@ func NewScheduler(cfg Config, reg *metrics.Registry) (*Scheduler, error) {
 		devices:  devices,
 		caches:   caches,
 		mets:     newSchedMetrics(reg),
+		admit:    cfg.Admission,
+		place:    cfg.Dispatch,
 		open:     make(map[groupKey]*batchGroup),
 		hardCtx:  hardCtx,
 		hardKill: hardKill,
@@ -385,8 +396,29 @@ func (s *Scheduler) RetryAfter() int {
 			minBacklog = b
 		}
 	}
-	var openCost, windowRem time.Duration
+	openCost, windowRem := s.openWindowCost()
+
+	secs := (minBacklog + openCost).Seconds()
+	if s.cfg.TimeScale > 0 {
+		secs /= s.cfg.TimeScale
+	}
+	secs += windowRem.Seconds() // window time runs on the wall clock
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	if n > 30 {
+		n = 30
+	}
+	return n
+}
+
+// openWindowCost is the predicted fused cost of every still-open
+// batching window (simulated time, cheapest eligible class per window)
+// and the wall-clock window time left before the last of them seals.
+func (s *Scheduler) openWindowCost() (openCost, windowRem time.Duration) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, g := range s.open {
 		var cheapest time.Duration
 		for class, c := range s.caches {
@@ -404,21 +436,7 @@ func (s *Scheduler) RetryAfter() int {
 			windowRem = rem
 		}
 	}
-	s.mu.Unlock()
-
-	secs := (minBacklog + openCost).Seconds()
-	if s.cfg.TimeScale > 0 {
-		secs /= s.cfg.TimeScale
-	}
-	secs += windowRem.Seconds() // window time runs on the wall clock
-	n := int(math.Ceil(secs))
-	if n < 1 {
-		n = 1
-	}
-	if n > 30 {
-		n = 30
-	}
-	return n
+	return openCost, windowRem
 }
 
 // Request is one inference submission's scheduling parameters.
@@ -511,15 +529,19 @@ func (s *Scheduler) SubmitRequest(ctx context.Context, req Request) outcome {
 	}
 
 	s.mu.Lock()
-	if s.draining {
+	if err := s.admit.Admit(dispatch.QueueState{
+		Depth: s.queued, Cap: s.cfg.QueueDepth, Draining: s.draining,
+	}); err != nil {
 		s.mu.Unlock()
-		s.mets.rejected.With("draining").Inc()
-		return outcome{err: ErrDraining}
-	}
-	if s.queued >= s.cfg.QueueDepth {
-		s.mu.Unlock()
-		s.mets.rejected.With("queue_full").Inc()
-		return outcome{err: ErrQueueFull}
+		switch {
+		case errors.Is(err, dispatch.ErrDraining):
+			s.mets.rejected.With("draining").Inc()
+		case errors.Is(err, dispatch.ErrQueueFull):
+			s.mets.rejected.With("queue_full").Inc()
+		default:
+			s.mets.rejected.With("policy").Inc()
+		}
+		return outcome{err: err}
 	}
 	// Deadline-aware admission: the predictor already knows the cheapest
 	// device's committed backlog and this request's fused cost; if that
