@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mulayer/internal/soc"
+)
+
+// TestStatuszJSON drives a paced pool and checks the machine-readable
+// load signal: schema stability, queue pressure, per-device health, and
+// the draining flip — the contract the fleet frontend routes by.
+func TestStatuszJSON(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		SoCs: []SoCSpec{
+			{Name: "high", SoC: soc.Exynos7420, Workers: 1},
+			{Name: "mid", SoC: soc.Exynos7880, Workers: 1},
+		},
+		QueueDepth: 16,
+		TimeScale:  5,
+	})
+	getSignal := func() LoadSignal {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/statusz.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("statusz.json %d", resp.StatusCode)
+		}
+		var sig LoadSignal
+		if err := json.NewDecoder(resp.Body).Decode(&sig); err != nil {
+			t.Fatal(err)
+		}
+		return sig
+	}
+
+	sig := getSignal()
+	if !sig.Ready || sig.Draining {
+		t.Fatalf("fresh pool not ready: %+v", sig)
+	}
+	if sig.QueueCap != 16 || sig.QueueDepth != 0 {
+		t.Fatalf("queue pressure %+v", sig)
+	}
+	if len(sig.Devices) != 2 {
+		t.Fatalf("devices %+v", sig.Devices)
+	}
+	for _, d := range sig.Devices {
+		if d.Health != "ok" || d.Device == "" || d.SoC == "" {
+			t.Fatalf("device row %+v", d)
+		}
+	}
+
+	// Serve some paced traffic; the queue-wait p95 becomes observable.
+	for i := 0; i < 4; i++ {
+		resp, body := postInfer(t, ts.URL, InferRequest{Model: "lenet5"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("infer: %d (%s)", resp.StatusCode, body)
+		}
+	}
+	sig = getSignal()
+	if sig.QueueWaitP95MS < 0 {
+		t.Fatalf("negative queue-wait p95: %+v", sig)
+	}
+
+	// With paced work on every device the forward predictor must see it:
+	// the predicted wait is the least-loaded device's backlog, so both
+	// devices carry work while the signal is read. Plain http.Post in the
+	// goroutines — test helpers must not t.Fatal off the test goroutine.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		model := "googlenet"
+		if i%2 == 1 {
+			model = "alexnet"
+		}
+		payload, _ := json.Marshal(InferRequest{Model: model})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(payload))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	sawWait := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if getSignal().PredictedWaitMS > 0 {
+			sawWait = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	if !sawWait {
+		t.Fatal("predicted_wait_ms never rose above 0 with paced work in flight")
+	}
+
+	// Draining flips ready off — the frontend must stop routing here.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.sched.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sig = getSignal()
+	if sig.Ready || !sig.Draining {
+		t.Fatalf("draining pool still ready: %+v", sig)
+	}
+}
