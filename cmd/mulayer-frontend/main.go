@@ -1,0 +1,138 @@
+// Command mulayer-frontend runs the μLayer fleet frontend: an HTTP
+// proxy that routes /v1/infer over many mulayer-serve backends with
+// per-model affinity routing, predicted-load spill, hedged requests,
+// and transport-failure failover.
+//
+// Usage:
+//
+//	mulayer-frontend -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//	mulayer-frontend -backends-file fleet.txt          # SIGHUP re-reads it
+//	mulayer-frontend -hedge-budget 0.1 -max-attempts 3
+//
+// Endpoints:
+//
+//	POST /v1/infer        proxied to the routed backend (same body/reply)
+//	GET  /v1/models       proxied from a healthy backend
+//	GET  /healthz         liveness
+//	GET  /readyz          503 until at least one backend is healthy
+//	GET  /statusz         fleet view: per-backend health, load, hedging (JSON)
+//	GET  /metrics         mulayer_frontend_* Prometheus text format
+//	GET  /admin/backends  backend registry snapshot (JSON)
+//	POST /admin/backends  {"action":"add|drain|undrain|remove","url":"..."}
+//	POST /admin/reload    re-read -backends-file (add new, drain delisted)
+//
+// Routing: per-model rendezvous hashing concentrates each model on a
+// stable few replicas (plan-cache and batch-fusion affinity); when the
+// affinity choice's predicted load — the backend-reported predicted
+// wait from /statusz.json plus a per-outstanding-request charge —
+// exceeds the least-loaded replica's by both -spill-factor and
+// -spill-margin, the request spills. After a p95-derived hedge delay a budgeted second
+// attempt races the next-ranked replica; transport failures fail over;
+// backend 503s pass through untouched. See docs/serving.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mulayer/internal/frontend"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mulayer-frontend: ")
+	addr := flag.String("addr", ":8090", "listen address")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (http://host:port)")
+	backendsFile := flag.String("backends-file", "", "file with one backend URL per line ('#' comments); SIGHUP or POST /admin/reload re-reads it")
+	probeEvery := flag.Duration("probe-every", 500*time.Millisecond, "health/load probe cadence per backend")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "probe round-trip budget")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures before a backend quarantines")
+	quarBackoff := flag.Duration("quarantine-backoff", time.Second, "first quarantine duration (doubles per re-quarantine)")
+	quarBackoffMax := flag.Duration("quarantine-backoff-max", 30*time.Second, "quarantine backoff cap")
+	maxInflight := flag.Int("max-inflight", 512, "proxied requests in flight before the frontend sheds")
+	maxAttempts := flag.Int("max-attempts", 3, "attempts per request across backends on transport failure")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "end-to-end budget per proxied request")
+	hedgeBudget := flag.Float64("hedge-budget", 0.1, "fraction of requests that may hedge (0 disables)")
+	hedgeBurst := flag.Int("hedge-burst", 8, "hedge budget burst cap")
+	hedgeMin := flag.Duration("hedge-min", 10*time.Millisecond, "hedge delay floor")
+	hedgeMax := flag.Duration("hedge-max", 2*time.Second, "hedge delay ceiling (also the cold-start delay)")
+	spillFactor := flag.Float64("spill-factor", 0, "affinity yields to least-load when its predicted load exceeds this ratio (0 = default 2.0)")
+	spillMargin := flag.Duration("spill-margin", 0, "...and this absolute margin (0 = default 10ms)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 && *backendsFile == "" {
+		log.Fatal("no backends: set -backends and/or -backends-file")
+	}
+
+	fe, err := frontend.New(frontend.Config{
+		Addr:                 *addr,
+		Backends:             urls,
+		BackendsFile:         *backendsFile,
+		ProbeEvery:           *probeEvery,
+		ProbeTimeout:         *probeTimeout,
+		FailThreshold:        *failThreshold,
+		QuarantineBackoff:    *quarBackoff,
+		QuarantineBackoffMax: *quarBackoffMax,
+		MaxInflight:          *maxInflight,
+		MaxAttempts:          *maxAttempts,
+		RequestTimeout:       *reqTimeout,
+		HedgeBudget:          *hedgeBudget,
+		HedgeBurst:           *hedgeBurst,
+		HedgeMin:             *hedgeMin,
+		HedgeMax:             *hedgeMax,
+		SpillFactor:          *spillFactor,
+		SpillMargin:          *spillMargin,
+		DrainTimeout:         *drain,
+	}, log.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			added, drained, err := fe.Reload()
+			if err != nil {
+				log.Printf("reload: %v", err)
+				continue
+			}
+			log.Printf("reload: %d added, %d drained", added, drained)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- fe.ListenAndServe() }()
+	log.Printf("fronting %d backends on %s (probe %v, hedge budget %g)",
+		len(urls), *addr, *probeEvery, *hedgeBudget)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining (budget %v)...", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain+5*time.Second)
+	defer cancel()
+	if err := fe.Shutdown(shutCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("drained cleanly")
+}

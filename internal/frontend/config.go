@@ -1,0 +1,172 @@
+// Package frontend is the μLayer fleet tier: an HTTP proxy that routes
+// /v1/infer over many mulayer-serve backends (see cmd/mulayer-frontend).
+//
+// The node-level scheduler (internal/server) extends the paper's
+// makespan argument from channels within a layer to requests across
+// devices; this package extends it once more, to requests across
+// backends. The same predicted-completion signal that picks a split
+// ratio inside a node — exposed by each backend at /statusz.json —
+// picks the least-loaded replica across nodes, through the placement
+// policies shared with the node tier (internal/dispatch):
+//
+//   - A backend registry holds the fleet, with live add/drain/remove via
+//     an admin endpoint and a reloadable backends file. Per-backend
+//     health is driven by periodic /readyz probes plus passive
+//     error/latency observations, with quarantine and half-open probing
+//     mirroring the node-level device circuit breaker.
+//   - Per-model rendezvous hashing concentrates a model's requests on a
+//     stable few replicas (plan-cache and batch-fusion affinity),
+//     softened by least-predicted-load spill when the affinity choice is
+//     overloaded relative to the fleet.
+//   - Hedged requests: after a p95-derived delay, a second attempt is
+//     launched on the next-ranked replica; the first decisive response
+//     wins and the loser is cancelled. A hedge budget bounds hedging to
+//     a fraction of traffic so it cannot double fleet load.
+//   - Transport failures (a killed backend) fail over to the next-ranked
+//     replica; backend HTTP rejections (503 shedding) pass through
+//     untouched — admission is backend policy, and retrying rejections
+//     amplifies the overload they protect against.
+package frontend
+
+import (
+	"fmt"
+	"time"
+
+	"mulayer/internal/dispatch"
+)
+
+// Config configures the fleet frontend.
+type Config struct {
+	// Addr is the listen address of ListenAndServe (default ":8090").
+	Addr string
+
+	// Backends are the initial backend base URLs ("http://host:port";
+	// a bare "host:port" gets the http scheme). The set changes at
+	// runtime via /admin/backends and Reload.
+	Backends []string
+	// BackendsFile optionally names a file holding one backend URL per
+	// line ('#' comments); POST /admin/reload (or SIGHUP in the binary)
+	// re-reads it, adding new backends and draining delisted ones. When
+	// set, the file is also read at startup, merging with Backends.
+	BackendsFile string
+
+	// ProbeEvery is the health/load probe cadence per backend (default
+	// 500ms): GET /readyz drives the circuit breaker, GET /statusz.json
+	// refreshes the load signal.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe round trip (default 2s).
+	ProbeTimeout time.Duration
+
+	// FailThreshold is the number of consecutive failures — passive
+	// transport errors and failed probes share the counter — that
+	// quarantines a backend (default 3).
+	FailThreshold int
+	// QuarantineBackoff is the first quarantine duration; each
+	// re-quarantine doubles it up to QuarantineBackoffMax (defaults 1s
+	// and 30s).
+	QuarantineBackoff    time.Duration
+	QuarantineBackoffMax time.Duration
+
+	// MaxInflight bounds proxied requests in flight across the fleet;
+	// beyond it /v1/infer answers 503 (default 512).
+	MaxInflight int
+	// MaxAttempts bounds transport-failure failovers per request: the
+	// primary attempt plus MaxAttempts-1 re-dispatches onto the
+	// next-ranked backends (default 3).
+	MaxAttempts int
+	// RequestTimeout caps one proxied request end to end, hedges and
+	// failovers included (default 30s; the client's own deadline still
+	// applies through context cancellation).
+	RequestTimeout time.Duration
+
+	// HedgeBudget is the fraction of completed requests that may hedge
+	// (default 0.1); 0 disables hedging entirely. Budget accrues per
+	// completed request and each hedge spends one unit, so hedging is
+	// bounded to HedgeBudget of traffic no matter how slow the fleet is.
+	HedgeBudget float64
+	// HedgeBurst caps accrued hedge budget (default 8).
+	HedgeBurst int
+	// HedgeMin / HedgeMax clamp the hedge delay, which tracks the p95 of
+	// recently observed request latencies (defaults 10ms and 2s). Before
+	// any latency has been observed the delay is HedgeMax.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+
+	// DrainTimeout bounds graceful shutdown: how long Shutdown waits for
+	// proxied requests in flight (default 10s).
+	DrainTimeout time.Duration
+
+	// Admission and Policy are the shared scheduling policies
+	// (internal/dispatch). Admission gates the in-flight bound (default
+	// dispatch.BoundedQueue); Policy ranks backends per request (default
+	// dispatch.RendezvousLeastLoad with SpillFactor/SpillMargin below).
+	Admission dispatch.Admission
+	Policy    dispatch.Policy
+	// SpillFactor and SpillMargin tune the default policy's load-spill
+	// guard (see dispatch.RendezvousLeastLoad); ignored when Policy is
+	// set explicitly.
+	SpillFactor float64
+	SpillMargin time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		c.Addr = ":8090"
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.QuarantineBackoff <= 0 {
+		c.QuarantineBackoff = time.Second
+	}
+	if c.QuarantineBackoffMax <= 0 {
+		c.QuarantineBackoffMax = 30 * time.Second
+	}
+	if c.QuarantineBackoffMax < c.QuarantineBackoff {
+		c.QuarantineBackoffMax = c.QuarantineBackoff
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 512
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.HedgeBudget < 0 || c.HedgeBudget > 1 {
+		return c, fmt.Errorf("frontend: hedge budget %v outside [0, 1]", c.HedgeBudget)
+	}
+	if c.HedgeBurst <= 0 {
+		c.HedgeBurst = 8
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 10 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.HedgeMax < c.HedgeMin {
+		c.HedgeMax = c.HedgeMin
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Admission == nil {
+		c.Admission = dispatch.BoundedQueue{}
+	}
+	if c.Policy == nil {
+		c.Policy = dispatch.RendezvousLeastLoad{
+			SpillFactor: c.SpillFactor,
+			SpillMargin: c.SpillMargin,
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,216 @@
+package frontend
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mulayer/internal/server"
+	"mulayer/internal/soc"
+)
+
+// smokeBackend is one fleet-smoke replica: a real inference server
+// exposed through a killable http.Server so the test can crash it
+// (listener and connections torn down, no drain) and restart it on the
+// same address.
+type smokeBackend struct {
+	srv  *server.Server
+	addr string
+
+	mu sync.Mutex
+	hs *http.Server
+}
+
+func startSmokeBackend(t *testing.T, cfg server.Config) *smokeBackend {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &smokeBackend{srv: srv, addr: l.Addr().String()}
+	b.serve(l)
+	t.Cleanup(func() {
+		b.kill()
+		sctx, cancel := timeoutCtx(5 * time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	})
+	return b
+}
+
+func (b *smokeBackend) serve(l net.Listener) {
+	hs := &http.Server{Handler: b.srv.Handler()}
+	b.mu.Lock()
+	b.hs = hs
+	b.mu.Unlock()
+	go hs.Serve(l)
+}
+
+// kill crashes the replica: listener and all connections close at once,
+// exactly what a dead process looks like from the frontend.
+func (b *smokeBackend) kill() {
+	b.mu.Lock()
+	hs := b.hs
+	b.hs = nil
+	b.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+}
+
+// restart brings the same scheduler pool back up on the same address.
+func (b *smokeBackend) restart(t *testing.T) {
+	t.Helper()
+	l, err := net.Listen("tcp", b.addr)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", b.addr, err)
+	}
+	b.serve(l)
+}
+
+// TestFleetSmokeKillRestart is the fleet chaos smoke (make fleet-smoke):
+// three live backends behind the frontend, sustained load, one backend
+// crash-killed mid-run and restarted — availability must stay ≥99% with
+// zero routing-attributable failures (every non-2xx must be a backend's
+// own admission verdict, never a frontend routing error), and the
+// revived backend must rejoin the rotation.
+func TestFleetSmokeKillRestart(t *testing.T) {
+	leakCheck(t)
+	mods := fleetModels(t)
+	cfg := server.Config{
+		Models:     mods,
+		SoCs:       []server.SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+		QueueDepth: 64,
+	}
+	backends := []*smokeBackend{
+		startSmokeBackend(t, cfg),
+		startSmokeBackend(t, cfg),
+		startSmokeBackend(t, cfg),
+	}
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = "http://" + b.addr
+	}
+
+	f, err := New(Config{
+		Backends:          urls,
+		ProbeEvery:        50 * time.Millisecond,
+		ProbeTimeout:      time.Second,
+		FailThreshold:     2,
+		QuarantineBackoff: 200 * time.Millisecond,
+		MaxAttempts:       3,
+		HedgeBudget:       0.1,
+		HedgeMax:          500 * time.Millisecond,
+		RequestTimeout:    5 * time.Second,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		fts.Close()
+		f.Close()
+	})
+
+	var total, ok2xx, shed5xx, other atomic.Int64
+	var firstOther atomic.Value
+	stopLoad := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := "lenet5"
+			if w%2 == 1 {
+				model = "googlenet"
+			}
+			payload, _ := json.Marshal(server.InferRequest{Model: model})
+			for {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				resp, err := http.Post(fts.URL+"/v1/infer", "application/json", bytes.NewReader(payload))
+				total.Add(1)
+				if err != nil {
+					other.Add(1)
+					firstOther.CompareAndSwap(nil, err.Error())
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode < 300:
+					ok2xx.Add(1)
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					// A backend shedding load is its admission policy at
+					// work, not a routing failure — but it still counts
+					// against fleet availability below.
+					shed5xx.Add(1)
+				default:
+					other.Add(1)
+					firstOther.CompareAndSwap(nil, string(body))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Warm-up, crash one replica mid-run, let the fleet absorb it, then
+	// bring it back and let it rejoin.
+	time.Sleep(800 * time.Millisecond)
+	backends[0].kill()
+	time.Sleep(1200 * time.Millisecond)
+	backends[0].restart(t)
+	time.Sleep(1200 * time.Millisecond)
+	close(stopLoad)
+	wg.Wait()
+
+	tot, ok, shed, oth := total.Load(), ok2xx.Load(), shed5xx.Load(), other.Load()
+	if tot < 100 {
+		t.Fatalf("load loop barely ran: %d requests", tot)
+	}
+	avail := float64(ok) / float64(tot)
+	t.Logf("fleet smoke: %d requests, %d ok, %d shed, %d other → availability %.3f%%",
+		tot, ok, shed, oth, 100*avail)
+	if oth > 0 {
+		t.Errorf("%d routing-attributable failures (first: %v)", oth, firstOther.Load())
+	}
+	if avail < 0.99 {
+		t.Errorf("availability %.3f%% below the 99%% floor", 100*avail)
+	}
+
+	// The revived backend must be healthy and taking traffic again.
+	revived, _ := NormalizeBackendURL(urls[0])
+	eventually(t, 5*time.Second, "revived backend healthy", func() bool {
+		for _, b := range f.reg.Snapshot() {
+			if b.URL == revived {
+				return b.State == "ok"
+			}
+		}
+		return false
+	})
+	// And it must actually serve again, not just probe ready.
+	payload, _ := json.Marshal(server.InferRequest{Model: "lenet5"})
+	resp, err := http.Post(urls[0]+"/v1/infer", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("revived backend refused a request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("revived backend: %d (%s)", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,79 @@
+package frontend
+
+import (
+	"mulayer/internal/server/metrics"
+)
+
+// fleetMetrics are the mulayer_frontend_* metric families.
+type fleetMetrics struct {
+	reg *metrics.Registry
+
+	// requests by backend and status-code class ("2xx", "5xx", ...).
+	requests *metrics.CounterVec
+	// rejected requests by reason (inflight_full, no_backend, timeout).
+	rejected *metrics.CounterVec
+	// routing decisions by the placement policy's reason
+	// (least_load, affinity, affinity_spill).
+	routing *metrics.CounterVec
+	// transportErrors by backend: dial/read failures proxying to it.
+	transportErrors *metrics.CounterVec
+	// retries: transport-failure failovers onto the next-ranked backend.
+	retries *metrics.Counter
+	// hedges by result (won, lost, failed).
+	hedges *metrics.CounterVec
+	// hedgesSkipped by reason (budget, no_backend, disabled).
+	hedgesSkipped *metrics.CounterVec
+	// health transitions by backend and event (added, drained, undrained,
+	// removed, quarantined, probing, recovered).
+	health *metrics.CounterVec
+	// probeFailures by backend.
+	probeFailures *metrics.CounterVec
+	// latency of proxied requests end to end, by model.
+	latency *metrics.HistogramVec
+	// inflight proxied requests.
+	inflight *metrics.Gauge
+}
+
+func newFleetMetrics(healthyCount func() float64) *fleetMetrics {
+	reg := metrics.NewRegistry()
+	m := &fleetMetrics{
+		reg: reg,
+		requests: metrics.NewCounterVec(reg, "mulayer_frontend_requests_total",
+			"Proxied /v1/infer requests by backend and status class.",
+			"backend", "code"),
+		rejected: metrics.NewCounterVec(reg, "mulayer_frontend_rejected_total",
+			"Requests rejected by the frontend itself, by reason.",
+			"reason"),
+		routing: metrics.NewCounterVec(reg, "mulayer_frontend_routing_total",
+			"Primary routing decisions by placement reason.",
+			"reason"),
+		transportErrors: metrics.NewCounterVec(reg, "mulayer_frontend_transport_errors_total",
+			"Transport failures (dial/read) proxying to a backend.",
+			"backend"),
+		hedges: metrics.NewCounterVec(reg, "mulayer_frontend_hedges_total",
+			"Hedged attempts launched, by outcome.",
+			"result"),
+		hedgesSkipped: metrics.NewCounterVec(reg, "mulayer_frontend_hedges_skipped_total",
+			"Hedge opportunities not taken, by reason.",
+			"reason"),
+		health: metrics.NewCounterVec(reg, "mulayer_frontend_backend_health_total",
+			"Backend registry health transitions by backend and event.",
+			"backend", "event"),
+		probeFailures: metrics.NewCounterVec(reg, "mulayer_frontend_probe_failures_total",
+			"Failed health probes by backend.",
+			"backend"),
+		latency: metrics.NewHistogramVec(reg, "mulayer_frontend_latency_seconds",
+			"End-to-end proxied request latency (hedges and failovers included).",
+			metrics.LatencyBuckets(), "model"),
+	}
+	retries := metrics.NewCounterVec(reg, "mulayer_frontend_retries_total",
+		"Transport-failure failovers onto the next-ranked backend.")
+	m.retries = retries.With()
+	inflight := metrics.NewGaugeVec(reg, "mulayer_frontend_inflight",
+		"Proxied requests currently in flight.")
+	m.inflight = inflight.With()
+	metrics.NewGaugeFunc(reg, "mulayer_frontend_backends_healthy",
+		"Backends currently routable (healthy and not draining).",
+		healthyCount)
+	return m
+}
