@@ -12,6 +12,8 @@
 //	mulayer-load -addr http://localhost:8080 -model googlenet -qps 50 -duration 10s
 //	mulayer-load -model googlenet,squeezenet -mech mulayer -qps 200 -duration 30s -timeout 1s
 //	mulayer-load -model lenet5 -qps 2000 -batch 4        # batched traffic: 4 rows per request
+//	mulayer-load -addr :8081,:8082,:8083 -qps 300        # fleet: round-robin targets
+//	mulayer-load -json BENCH_serving.json                # machine-readable summary
 //
 // With -batch N each request carries N input rows, exercising the
 // server's fused micro-batching; goodput is then reported in rows/s as
@@ -22,6 +24,12 @@
 // latency percentiles) — the view of the server's brownout ladder
 // shedding from the bottom class up. -min-availability F exits non-zero
 // when the top class present falls below F (the overload-smoke gate).
+//
+// With -addr A,B,C requests round-robin across several targets (backends
+// directly, or frontends) and the summary adds a per-target table with
+// each target's availability and latency — the view of fleet balance.
+// With -json FILE the whole summary is also written as one JSON object
+// (the bench-serving artifact).
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -58,6 +67,7 @@ type sample struct {
 	code      int
 	err       bool
 	priority  string
+	target    string
 }
 
 func percentile(sorted []time.Duration, q float64) time.Duration {
@@ -77,7 +87,7 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mulayer-load: ")
-	addr := flag.String("addr", "http://localhost:8080", "server base URL")
+	addr := flag.String("addr", "http://localhost:8080", "server base URL(s), comma-separated (round-robin)")
 	modelsFlag := flag.String("model", "googlenet", "model name(s), comma-separated (round-robin)")
 	mech := flag.String("mech", "mulayer", "execution mechanism")
 	socClass := flag.String("soc", "", "pin requests to one SoC class (empty = any)")
@@ -87,6 +97,7 @@ func main() {
 	batch := flag.Int("batch", 1, "input rows per request (exercises server-side micro-batching)")
 	prioFlag := flag.String("priority", "", "priority class(es), comma-separated (round-robin): high, normal, low (empty = server default)")
 	minAvail := flag.Float64("min-availability", 0, "exit non-zero when the top priority class's 2xx availability falls below this fraction (0 = no gate)")
+	jsonOut := flag.String("json", "", "also write the run summary as JSON to this file (empty = off)")
 	flag.Parse()
 
 	if *qps <= 0 {
@@ -107,9 +118,19 @@ func main() {
 			}
 		}
 	}
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		targets = append(targets, a)
+	}
+	if len(targets) == 0 {
+		log.Fatal("-addr names no targets")
 	}
 	models := strings.Split(*modelsFlag, ",")
 	client := &http.Client{Timeout: *timeout + time.Second}
@@ -120,7 +141,7 @@ func main() {
 		samples []sample
 		wg      sync.WaitGroup
 	)
-	fire := func(model, prio string) {
+	fire := func(model, prio, target string) {
 		defer wg.Done()
 		body, _ := json.Marshal(inferRequest{
 			Model:     model,
@@ -131,8 +152,8 @@ func main() {
 			Priority:  prio,
 		})
 		start := time.Now()
-		resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
-		s := sample{wall: time.Since(start), priority: prio}
+		resp, err := client.Post(target+"/v1/infer", "application/json", bytes.NewReader(body))
+		s := sample{wall: time.Since(start), priority: prio, target: target}
 		if err != nil {
 			s.err = true
 		} else {
@@ -153,7 +174,7 @@ func main() {
 		mu.Unlock()
 	}
 
-	log.Printf("offering %.1f qps of %s for %v against %s", *qps, *modelsFlag, *duration, base)
+	log.Printf("offering %.1f qps of %s for %v against %s", *qps, *modelsFlag, *duration, strings.Join(targets, ", "))
 	start := time.Now()
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -161,7 +182,7 @@ func main() {
 	for time.Since(start) < *duration {
 		<-tick.C
 		wg.Add(1)
-		go fire(models[sent%len(models)], priorities[sent%len(priorities)])
+		go fire(models[sent%len(models)], priorities[sent%len(priorities)], targets[sent%len(targets)])
 		sent++
 	}
 	wg.Wait()
@@ -266,6 +287,132 @@ func main() {
 				percentile(cs.lat, 0.99).Round(time.Microsecond))
 		}
 	}
+	// Per-target breakdown: with several -addr targets this is the view
+	// of fleet balance — each target's share, availability, and latency.
+	type targetStats struct {
+		sent, ok, errs int
+		lat            []time.Duration
+	}
+	byTarget := map[string]*targetStats{}
+	for _, s := range samples {
+		ts := byTarget[s.target]
+		if ts == nil {
+			ts = &targetStats{}
+			byTarget[s.target] = ts
+		}
+		ts.sent++
+		switch {
+		case s.err:
+			ts.errs++
+		case s.code == http.StatusOK:
+			ts.ok++
+			ts.lat = append(ts.lat, s.wall)
+		}
+	}
+	targetNames := make([]string, 0, len(byTarget))
+	for tgt := range byTarget {
+		targetNames = append(targetNames, tgt)
+	}
+	sort.Strings(targetNames)
+	if len(targetNames) > 1 {
+		fmt.Printf("%-28s %7s %7s %7s %7s %10s %10s\n",
+			"target", "sent", "2xx", "err", "avail", "p50", "p95")
+		for _, tgt := range targetNames {
+			ts := byTarget[tgt]
+			sort.Slice(ts.lat, func(i, j int) bool { return ts.lat[i] < ts.lat[j] })
+			fmt.Printf("%-28s %7d %7d %7d %6.1f%% %10v %10v\n",
+				tgt, ts.sent, ts.ok, ts.errs,
+				100*float64(ts.ok)/float64(ts.sent),
+				percentile(ts.lat, 0.50).Round(time.Microsecond),
+				percentile(ts.lat, 0.95).Round(time.Microsecond))
+		}
+	}
+
+	if *jsonOut != "" {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		type latSummary struct {
+			P50MS float64 `json:"p50_ms"`
+			P95MS float64 `json:"p95_ms"`
+			P99MS float64 `json:"p99_ms"`
+			MaxMS float64 `json:"max_ms"`
+		}
+		latOf := func(sorted []time.Duration) latSummary {
+			out := latSummary{
+				P50MS: ms(percentile(sorted, 0.50)),
+				P95MS: ms(percentile(sorted, 0.95)),
+				P99MS: ms(percentile(sorted, 0.99)),
+			}
+			if len(sorted) > 0 {
+				out.MaxMS = ms(sorted[len(sorted)-1])
+			}
+			return out
+		}
+		type targetSummary struct {
+			Target       string     `json:"target"`
+			Sent         int        `json:"sent"`
+			OK           int        `json:"ok"`
+			TransportErr int        `json:"transport_errors"`
+			Availability float64    `json:"availability"`
+			Latency      latSummary `json:"latency"`
+		}
+		summary := struct {
+			Targets      []string        `json:"targets"`
+			Models       string          `json:"models"`
+			OfferedQPS   float64         `json:"offered_qps"`
+			DurationSec  float64         `json:"duration_sec"`
+			Batch        int             `json:"batch"`
+			Sent         int             `json:"sent"`
+			OK           int             `json:"ok"`
+			TransportErr int             `json:"transport_errors"`
+			ByCode       map[string]int  `json:"by_code"`
+			GoodputQPS   float64         `json:"goodput_qps"`
+			GoodputRows  float64         `json:"goodput_rows_per_sec"`
+			Availability float64         `json:"availability"`
+			Latency      latSummary      `json:"latency"`
+			QueueWait    latSummary      `json:"queue_wait"`
+			PerTarget    []targetSummary `json:"per_target,omitempty"`
+		}{
+			Targets:      targets,
+			Models:       *modelsFlag,
+			OfferedQPS:   *qps,
+			DurationSec:  elapsed.Seconds(),
+			Batch:        *batch,
+			Sent:         sent,
+			OK:           byCode[200],
+			TransportErr: netErrs,
+			ByCode:       map[string]int{},
+			GoodputQPS:   float64(byCode[200]) / elapsed.Seconds(),
+			GoodputRows:  float64(byCode[200]**batch) / elapsed.Seconds(),
+			Availability: float64(byCode[200]) / float64(max(sent, 1)),
+			Latency:      latOf(okLat),
+			QueueWait:    latOf(okWait),
+		}
+		for c, n := range byCode {
+			summary.ByCode[fmt.Sprint(c)] = n
+		}
+		if len(targetNames) > 1 {
+			for _, tgt := range targetNames {
+				ts := byTarget[tgt]
+				summary.PerTarget = append(summary.PerTarget, targetSummary{
+					Target:       tgt,
+					Sent:         ts.sent,
+					OK:           ts.ok,
+					TransportErr: ts.errs,
+					Availability: float64(ts.ok) / float64(max(ts.sent, 1)),
+					Latency:      latOf(ts.lat),
+				})
+			}
+		}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			log.Fatalf("-json: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("-json: %v", err)
+		}
+		log.Printf("summary written to %s", *jsonOut)
+	}
+
 	if *minAvail > 0 && len(classes) > 0 {
 		top := byClass[classes[0]]
 		avail := float64(top.ok) / float64(top.sent)
