@@ -7,7 +7,9 @@
 #   make chaos-smoke seeded fault-injection run under the race detector
 #   make trace-smoke end-to-end tracing/observability run under the race detector
 #   make overload-smoke saturation run with the full overload stack armed
+#   make fleet-smoke three-backend fleet with a mid-run backend kill/restart
 #   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
+#   make bench-serving 1-vs-4-backend goodput benchmark -> BENCH_serving.json
 #   make serve       run the inference server on :8080
 #   make load        drive a running server at 50 qps for 10s
 
@@ -19,9 +21,9 @@ FUZZTIME ?= 10s
 # (measured 82.5% when the gate was introduced).
 COVER_FLOOR ?= 75
 
-.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fuzz-smoke serve load
+.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke bench-serving serve load
 
-ci: build vet race cover chaos-smoke trace-smoke overload-smoke fuzz-smoke
+ci: build vet race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -75,6 +77,19 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeInferRequest$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzOverloadConfig$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/faults -run='^$$' -fuzz='^FuzzFaultConfig$$' -fuzztime=$(FUZZTIME)
+
+# Fleet chaos smoke: three live backends behind the frontend under
+# sustained load and the race detector; one backend is crash-killed
+# mid-run and restarted. Fails when availability drops below 99%, any
+# failure is routing-attributable, or the revived backend does not
+# rejoin.
+fleet-smoke:
+	$(GO) test ./internal/frontend -race -count=1 -run='^TestFleetSmokeKillRestart$$' -v
+
+# Saturation goodput of 1 backend vs a 4-backend fleet through the
+# frontend, over real processes and loopback HTTP; writes BENCH_serving.json.
+bench-serving:
+	bash scripts/bench_serving.sh
 
 serve:
 	$(GO) run ./cmd/mulayer-serve

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Serving-fleet benchmark (make bench-serving): saturation goodput of one
+# backend vs a 4-backend fleet, both behind mulayer-frontend, written to
+# BENCH_serving.json. Real processes over loopback HTTP; device pacing
+# (-timescale) makes the simulated SoCs the capacity bottleneck, so the
+# scaling number measures the routing tier, not the host CPU.
+#
+# Tunables (env): BENCH_OUT, BENCH_DURATION, BENCH_QPS, BENCH_TIMEOUT,
+# BENCH_TIMESCALE, BENCH_MODELS, BENCH_SPILL_FACTOR, BENCH_SPILL_MARGIN,
+# BENCH_HEDGE_BUDGET.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_OUT:-BENCH_serving.json}
+DUR=${BENCH_DURATION:-8s}
+QPS=${BENCH_QPS:-240}
+# 5s keeps the queue cap (not the deadline) as the binding limit in both
+# phases: with a tight deadline, deadline admission skims the cheap end
+# of the model mix and inflates single-backend goodput.
+TIMEOUT=${BENCH_TIMEOUT:-5s}
+TIMESCALE=${BENCH_TIMESCALE:-1}
+MODELS=${BENCH_MODELS:-googlenet,squeezenet,mobilenet,alexnet}
+# Under fleet-wide saturation a 2x spill guard leaves the affinity-heavy
+# replica shedding while lighter ones idle; the bench routes with a
+# tighter guard (see docs/serving.md, fleet tuning).
+SPILL_FACTOR=${BENCH_SPILL_FACTOR:-1.25}
+SPILL_MARGIN=${BENCH_SPILL_MARGIN:-50ms}
+# Hedging trades saturated-fleet capacity for tail latency; a goodput
+# benchmark keeps the budget small so losers don't eat the throughput
+# being measured.
+HEDGE_BUDGET=${BENCH_HEDGE_BUDGET:-0.02}
+BASE_PORT=${BENCH_BASE_PORT:-18180}
+FRONT_PORT=$((BASE_PORT + 9))
+
+bin=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+echo "bench-serving: building binaries..."
+go build -o "$bin" ./cmd/mulayer-serve ./cmd/mulayer-frontend ./cmd/mulayer-load
+
+probe_ready() { # url
+    for _ in $(seq 1 150); do
+        if curl -fsS --max-time 2 "$1/readyz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "bench-serving: $1 never became ready" >&2
+    return 1
+}
+
+start_backend() { # port
+    # Deadline admission keeps the saturated backend from wasting
+    # capacity on requests whose client deadline has already passed.
+    "$bin/mulayer-serve" -addr "127.0.0.1:$1" -socs high=1 -queue 64 \
+        -timescale "$TIMESCALE" -max-batch 4 -overload admit=on >/dev/null 2>&1 &
+    pids+=($!)
+}
+
+start_frontend() { # backend urls (comma-separated)
+    "$bin/mulayer-frontend" -addr "127.0.0.1:$FRONT_PORT" -backends "$1" \
+        -probe-every 100ms -spill-factor "$SPILL_FACTOR" -spill-margin "$SPILL_MARGIN" \
+        -hedge-budget "$HEDGE_BUDGET" >/dev/null 2>&1 &
+    pids+=($!)
+}
+
+run_phase() { # n_backends out_file
+    local n=$1 out=$2 urls=""
+    for i in $(seq 0 $((n - 1))); do
+        start_backend $((BASE_PORT + i))
+        urls+="${urls:+,}http://127.0.0.1:$((BASE_PORT + i))"
+    done
+    for i in $(seq 0 $((n - 1))); do
+        probe_ready "http://127.0.0.1:$((BASE_PORT + i))"
+    done
+    start_frontend "$urls"
+    probe_ready "http://127.0.0.1:$FRONT_PORT"
+    echo "bench-serving: $n backend(s), offering $QPS qps of $MODELS for $DUR..."
+    "$bin/mulayer-load" -addr "http://127.0.0.1:$FRONT_PORT" \
+        -model "$MODELS" -qps "$QPS" -duration "$DUR" -timeout "$TIMEOUT" \
+        -json "$out"
+    # Tear the phase down before the next one reuses the ports.
+    for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    pids=()
+}
+
+run_phase 1 "$bin/single.json"
+run_phase 4 "$bin/fleet4.json"
+
+single=$(sed -n 's/.*"goodput_qps": \([0-9.]*\).*/\1/p' "$bin/single.json")
+fleet=$(sed -n 's/.*"goodput_qps": \([0-9.]*\).*/\1/p' "$bin/fleet4.json")
+scaling=$(awk -v s="$single" -v f="$fleet" 'BEGIN { printf "%.2f", (s > 0) ? (f / s) : 0 }')
+
+{
+    echo '{'
+    echo '  "benchmark": "serving fleet saturation goodput, 1 vs 4 backends behind mulayer-frontend",'
+    echo "  \"timescale\": $TIMESCALE,"
+    echo "  \"offered_qps\": $QPS,"
+    echo "  \"scaling_1_to_4\": $scaling,"
+    echo '  "single_backend":'
+    sed 's/^/  /' "$bin/single.json"
+    echo '  ,'
+    echo '  "fleet_4_backends":'
+    sed 's/^/  /' "$bin/fleet4.json"
+    echo '}'
+} >"$OUT"
+
+printf 'bench-serving: 1 backend %.1f qps -> 4 backends %.1f qps (%sx), summary in %s\n' \
+    "$single" "$fleet" "$scaling" "$OUT"
