@@ -10,6 +10,8 @@
 #   make fleet-smoke three-backend fleet with a mid-run backend kill/restart
 #   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
 #   make bench-serving 1-vs-4-backend goodput benchmark -> BENCH_serving.json
+#   make bench-gemm  packed-vs-reference kernel benchmark -> BENCH_gemm.json
+#   make bench-gemm-smoke CI-sized gemm bench run + schema validation
 #   make serve       run the inference server on :8080
 #   make load        drive a running server at 50 qps for 10s
 
@@ -20,10 +22,13 @@ FUZZTIME ?= 10s
 # internal/server statement coverage must not fall below this floor
 # (measured 82.5% when the gate was introduced).
 COVER_FLOOR ?= 75
+# internal/gemm statement coverage floor (measured 94.2% when the
+# packed/tiled kernels landed).
+GEMM_COVER_FLOOR ?= 88
 
-.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke bench-serving serve load
+.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke bench-serving bench-gemm bench-gemm-smoke serve load
 
-ci: build vet race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke
+ci: build vet race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke bench-gemm-smoke
 
 build:
 	$(GO) build ./...
@@ -38,13 +43,16 @@ race:
 	$(GO) test -race ./...
 
 cover:
-	@out=$$($(GO) test -cover ./internal/server/); \
-	echo "$$out"; \
-	pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
-	if [ -z "$$pct" ]; then echo "cover: no coverage figure in output" >&2; exit 1; fi; \
-	awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN { \
-		if (p + 0 < f + 0) { printf "cover: %.1f%% is below the %s%% floor\n", p, f; exit 1 } \
-		printf "cover: %.1f%% (floor %s%%)\n", p, f }'
+	@check() { \
+		out=$$($(GO) test -cover $$1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage figure for $$1" >&2; exit 1; fi; \
+		awk -v p="$$pct" -v f="$$2" -v pkg="$$1" 'BEGIN { \
+			if (p + 0 < f + 0) { printf "cover: %s %.1f%% is below the %s%% floor\n", pkg, p, f; exit 1 } \
+			printf "cover: %s %.1f%% (floor %s%%)\n", pkg, p, f }'; \
+	}; \
+	check ./internal/server/ $(COVER_FLOOR) && check ./internal/gemm/ $(GEMM_COVER_FLOOR)
 
 # Seeded chaos run: 160 requests against a faulty four-device pool under
 # the race detector. Fails on any escaped panic, untyped error, stranded
@@ -77,6 +85,9 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeInferRequest$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzOverloadConfig$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/faults -run='^$$' -fuzz='^FuzzFaultConfig$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gemm -run='^$$' -fuzz='^FuzzF32$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gemm -run='^$$' -fuzz='^FuzzF16GEMM$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/gemm -run='^$$' -fuzz='^FuzzQGEMM$$' -fuzztime=$(FUZZTIME)
 
 # Fleet chaos smoke: three live backends behind the frontend under
 # sustained load and the race detector; one backend is crash-killed
@@ -90,6 +101,18 @@ fleet-smoke:
 # frontend, over real processes and loopback HTTP; writes BENCH_serving.json.
 bench-serving:
 	bash scripts/bench_serving.sh
+
+# Single-thread packed/tiled kernel throughput vs the naive reference
+# loops on model-zoo GEMM shapes; writes BENCH_gemm.json.
+bench-gemm:
+	$(GO) run ./cmd/mulayer-bench -gemm
+
+# CI-sized run: scaled-down shapes to a temp file, schema-validate both
+# the fresh run and the committed trajectory.
+bench-gemm-smoke:
+	$(GO) run ./cmd/mulayer-bench -gemm -gemm-short -gemm-out /tmp/BENCH_gemm_smoke.json
+	$(GO) run ./cmd/mulayer-bench -gemm-verify /tmp/BENCH_gemm_smoke.json
+	$(GO) run ./cmd/mulayer-bench -gemm-verify BENCH_gemm.json
 
 serve:
 	$(GO) run ./cmd/mulayer-serve

@@ -1,0 +1,115 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mulayer/internal/f16"
+)
+
+// Differential fuzzing of the packed/tiled kernels against the naive
+// *Ref oracles. The fuzzer drives the shape (m,k,n), the zero points,
+// and the data seed; each execution checks both the one-shot entry
+// point (packs per call) and the pre-packed path, so operand packing,
+// tail kernels, and the zero-point decomposition are all under test.
+// Seed corpus pins the degenerate shapes: 1×1×1, m below a single
+// panel, k=1, and n off the tile width.
+
+// fuzzShape folds fuzzer bytes into a shape that exercises panel
+// boundaries: sizes span 1..48, crossing mr/nrF/nrQ/blockM edges.
+func fuzzShape(ms, ks, ns uint8) (m, k, n int) {
+	return int(ms%48) + 1, int(ks%48) + 1, int(ns%48) + 1
+}
+
+func FuzzF32(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1))    // 1×1×1
+	f.Add(uint8(2), uint8(16), uint8(4), int64(2))   // m < blockM panel
+	f.Add(uint8(32), uint8(0), uint8(31), int64(3))  // k = 1
+	f.Add(uint8(37), uint8(21), uint8(6), int64(4))  // n % nrF != 0
+	f.Add(uint8(47), uint8(47), uint8(47), int64(5)) // near-max everything
+	f.Fuzz(func(t *testing.T, ms, ks, ns uint8, seed int64) {
+		m, k, n := fuzzShape(ms, ks, ns)
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randF32(m*k, rng), randF32(k*n, rng)
+		want := make([]float32, m*n)
+		F32Ref(a, b, want, m, k, n)
+		check := func(path string, got []float32) {
+			// Error scales with the dot length; operands are in [-1,1).
+			tol := 1e-5 * float64(k)
+			for i := range got {
+				if d := math.Abs(float64(got[i] - want[i])); d > tol || got[i] != got[i] {
+					t.Fatalf("%s shape (%d,%d,%d) elem %d: %v vs %v", path, m, k, n, i, got[i], want[i])
+				}
+			}
+		}
+		got := make([]float32, m*n)
+		F32(a, b, got, m, k, n)
+		check("F32", got)
+		got2 := make([]float32, m*n)
+		F32Packed(PackAF32(a, m, k), b, got2, n)
+		check("F32Packed", got2)
+	})
+}
+
+func FuzzF16GEMM(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(1))
+	f.Add(uint8(2), uint8(16), uint8(4), int64(2))
+	f.Add(uint8(32), uint8(0), uint8(31), int64(3))
+	f.Add(uint8(37), uint8(21), uint8(6), int64(4))
+	f.Add(uint8(47), uint8(47), uint8(47), int64(5))
+	f.Fuzz(func(t *testing.T, ms, ks, ns uint8, seed int64) {
+		m, k, n := fuzzShape(ms, ks, ns)
+		rng := rand.New(rand.NewSource(seed))
+		a := f16.FromSlice32(randF32(m*k, rng))
+		b := f16.FromSlice32(randF32(k*n, rng))
+		want := make([]f16.F16, m*n)
+		F16Ref(a, b, want, m, k, n)
+		// The tiled kernel accumulates in the reference's order, so F16
+		// results must be bit-identical, not merely close.
+		check := func(path string, got []f16.F16) {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s shape (%d,%d,%d) elem %d: %#04x vs %#04x", path, m, k, n, i, got[i], want[i])
+				}
+			}
+		}
+		got := make([]f16.F16, m*n)
+		F16GEMM(a, b, got, m, k, n)
+		check("F16GEMM", got)
+		got2 := make([]f16.F16, m*n)
+		F16GEMMPacked(PackAF16(a, m, k), b, got2, n)
+		check("F16GEMMPacked", got2)
+	})
+}
+
+func FuzzQGEMM(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), int64(1))
+	f.Add(uint8(2), uint8(16), uint8(4), uint8(128), uint8(128), int64(2))
+	f.Add(uint8(32), uint8(0), uint8(31), uint8(255), uint8(0), int64(3))
+	f.Add(uint8(37), uint8(21), uint8(7), uint8(1), uint8(254), int64(4)) // n % nrQ != 0
+	f.Add(uint8(47), uint8(47), uint8(47), uint8(100), uint8(200), int64(5))
+	f.Fuzz(func(t *testing.T, ms, ks, ns, zas, zbs uint8, seed int64) {
+		m, k, n := fuzzShape(ms, ks, ns)
+		za, zb := int32(zas), int32(zbs)
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randU8(m*k, rng), randU8(k*n, rng)
+		want := make([]int32, m*n)
+		QGEMMRef(a, b, want, m, k, n, za, zb)
+		// Integer accumulation wraps, so the decomposed tiled kernel
+		// must agree bit-for-bit with the oracle.
+		check := func(path string, got []int32) {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s shape (%d,%d,%d) zp(%d,%d) elem %d: %d vs %d", path, m, k, n, za, zb, i, got[i], want[i])
+				}
+			}
+		}
+		got := make([]int32, m*n)
+		QGEMM(a, b, got, m, k, n, za, zb)
+		check("QGEMM", got)
+		got2 := make([]int32, m*n)
+		QGEMMPacked(PackAU8(a, m, k), b, got2, n, za, zb)
+		check("QGEMMPacked", got2)
+	})
+}

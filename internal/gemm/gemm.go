@@ -8,9 +8,12 @@
 //   - QUInt8: the gemmlowp integer pipeline — uint8 operands with zero
 //     points, int32 accumulation, fixed-point requantization downstream.
 //
-// All matrices are dense row-major. Kernels are cache-blocked and
-// goroutine-parallel over row panels; naive loops are kept as references
-// for differential testing.
+// All matrices are dense row-major. The fast path packs both operands
+// into panel-contiguous blocks and computes register tiles (pack.go,
+// tiled.go); weight panels can be packed once per layer and reused via
+// the *Packed entry points. The naive triple loops are kept as *Ref
+// kernels — the differential oracle for the fuzz and golden tests, and
+// the baseline the BENCH_gemm.json trajectory is measured against.
 package gemm
 
 import (
@@ -20,7 +23,15 @@ import (
 	"mulayer/internal/f16"
 )
 
+// ForceRef routes every kernel — including the *Packed entry points —
+// through the naive reference loops. It exists for differential tests
+// and benchmarks only; it is not synchronized, so set it before any
+// concurrent kernel use and restore it after.
+var ForceRef bool
+
 // blockM is the row-panel height used to split work across goroutines.
+// It must stay a multiple of the register-tile height mr so workers
+// always own whole panels of the packed grid.
 const blockM = 32
 
 // parallelRows runs fn over [0,m) in row panels on up to GOMAXPROCS
@@ -59,27 +70,25 @@ func parallelRows(m int, fn func(i0, i1 int)) {
 }
 
 // F32 computes c = a·b for row-major a (m×k), b (k×n), c (m×n),
-// overwriting c. It is cache-blocked over k and parallel over rows.
+// overwriting c. The left operand is packed per call; callers that reuse
+// a (layer weights) should pack once and use F32Packed.
 func F32(a, b, c []float32, m, k, n int) {
 	checkDims(len(a), len(b), len(c), m, k, n)
-	parallelRows(m, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ci := c[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			ai := a[i*k : (i+1)*k]
-			for l, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bl := b[l*n : (l+1)*n]
-				for j, bv := range bl {
-					ci[j] += av * bv
-				}
-			}
-		}
-	})
+	if ForceRef {
+		F32Ref(a, b, c, m, k, n)
+		return
+	}
+	f32MulPacked(PackAF32(a, m, k), b, c, n)
+}
+
+// F32Packed computes c = pa·b for a pre-packed left operand.
+func F32Packed(pa *PackedAF32, b, c []float32, n int) {
+	checkDims(pa.M*pa.K, len(b), len(c), pa.M, pa.K, n)
+	if ForceRef {
+		F32Ref(pa.Unpack(), b, c, pa.M, pa.K, n)
+		return
+	}
+	f32MulPacked(pa, b, c, n)
 }
 
 // F32Ref is the textbook triple loop, used as the differential-testing
@@ -102,32 +111,24 @@ func F32Ref(a, b, c []float32, m, k, n int) {
 // binary16. This matches GPU half-precision kernels that accumulate dot
 // products in a wider register before writing back a half result — the
 // configuration under which the paper observes no accuracy loss for F16
-// (Figure 10).
+// (Figure 10). Results are bit-identical to F16Ref.
 func F16GEMM(a, b, c []f16.F16, m, k, n int) {
 	checkDims(len(a), len(b), len(c), m, k, n)
-	parallelRows(m, func(i0, i1 int) {
-		acc := make([]float32, n)
-		for i := i0; i < i1; i++ {
-			for j := range acc {
-				acc[j] = 0
-			}
-			ai := a[i*k : (i+1)*k]
-			for l, ah := range ai {
-				av := ah.Float32()
-				if av == 0 {
-					continue
-				}
-				bl := b[l*n : (l+1)*n]
-				for j, bh := range bl {
-					acc[j] += av * bh.Float32()
-				}
-			}
-			ci := c[i*n : (i+1)*n]
-			for j, s := range acc {
-				ci[j] = f16.FromFloat32(s)
-			}
-		}
-	})
+	if ForceRef {
+		F16Ref(a, b, c, m, k, n)
+		return
+	}
+	f16MulPacked(PackAF16(a, m, k), b, c, n)
+}
+
+// F16GEMMPacked computes c = pa·b for a pre-packed left operand.
+func F16GEMMPacked(pa *PackedAF16, b, c []f16.F16, n int) {
+	checkDims(pa.M*pa.K, len(b), len(c), pa.M, pa.K, n)
+	if ForceRef {
+		F16Ref(pa.Unpack(), b, c, pa.M, pa.K, n)
+		return
+	}
+	f16MulPacked(pa, b, c, n)
 }
 
 // F16Ref is the naive reference for F16GEMM.
@@ -150,27 +151,26 @@ func F16Ref(a, b, c []f16.F16, m, k, n int) {
 //
 // for uint8 operands with zero points za and zb. The caller feeds acc
 // through a quant.Requantizer (plus bias) to obtain uint8 outputs.
+// Results are bit-identical to QGEMMRef (int32 addition wraps, so the
+// tiled kernel's zero-point decomposition is exact mod 2³²).
 func QGEMM(a, b []uint8, acc []int32, m, k, n int, za, zb int32) {
 	checkDims(len(a), len(b), len(acc), m, k, n)
-	parallelRows(m, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ci := acc[i*n : (i+1)*n]
-			for j := range ci {
-				ci[j] = 0
-			}
-			ai := a[i*k : (i+1)*k]
-			for l, au := range ai {
-				av := int32(au) - za
-				if av == 0 {
-					continue
-				}
-				bl := b[l*n : (l+1)*n]
-				for j, bu := range bl {
-					ci[j] += av * (int32(bu) - zb)
-				}
-			}
-		}
-	})
+	if ForceRef {
+		QGEMMRef(a, b, acc, m, k, n, za, zb)
+		return
+	}
+	qMulPacked(PackAU8(a, m, k), b, acc, n, za, zb)
+}
+
+// QGEMMPacked computes the accumulator matrix for a pre-packed left
+// operand (za is the packed operand's zero point, zb the right one's).
+func QGEMMPacked(pa *PackedAU8, b []uint8, acc []int32, n int, za, zb int32) {
+	checkDims(pa.M*pa.K, len(b), len(acc), pa.M, pa.K, n)
+	if ForceRef {
+		QGEMMRef(pa.Unpack(), b, acc, pa.M, pa.K, n, za, zb)
+		return
+	}
+	qMulPacked(pa, b, acc, n, za, zb)
 }
 
 // QGEMMRef is the naive reference for QGEMM.

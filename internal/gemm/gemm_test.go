@@ -284,6 +284,83 @@ func TestIm2ColF16MatchesF32(t *testing.T) {
 	}
 }
 
+// degenerateShapes are the panel-boundary cases the tiled kernels must
+// get right: single elements, row counts below one panel, k=1, and
+// widths straddling the nrF/nrQ tile widths and the GEMV special case.
+func degenerateShapes() [][3]int {
+	return [][3]int{
+		{1, 1, 1},
+		{3, 5, 1},    // m < mr, GEMV
+		{2, 1, 9},    // k = 1, n % nrQ = 1
+		{4, 7, 3},    // n < nrF
+		{5, 9, 7},    // n between nrF and nrQ, ragged everything
+		{8, 16, 12},  // n % nrQ = 4 (full f32 panels, q tail)
+		{33, 2, 17},  // m just past blockM
+		{31, 3, 2},   // m just below blockM, tiny tail width
+		{65, 64, 63}, // every dimension off its block size
+	}
+}
+
+func TestTiledDegenerateShapesMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, s := range degenerateShapes() {
+		m, k, n := s[0], s[1], s[2]
+
+		af, bf := randF32(m*k, rng), randF32(k*n, rng)
+		gotF, wantF := make([]float32, m*n), make([]float32, m*n)
+		F32Packed(PackAF32(af, m, k), bf, gotF, n)
+		F32Ref(af, bf, wantF, m, k, n)
+		for i := range gotF {
+			if d := math.Abs(float64(gotF[i] - wantF[i])); d > 1e-4 {
+				t.Fatalf("f32 shape %v elem %d: %v vs %v", s, i, gotF[i], wantF[i])
+			}
+		}
+
+		ah, bh := f16.FromSlice32(af), f16.FromSlice32(bf)
+		gotH, wantH := make([]f16.F16, m*n), make([]f16.F16, m*n)
+		F16GEMMPacked(PackAF16(ah, m, k), bh, gotH, n)
+		F16Ref(ah, bh, wantH, m, k, n)
+		for i := range gotH {
+			if gotH[i] != wantH[i] {
+				t.Fatalf("f16 shape %v elem %d: %#04x vs %#04x", s, i, gotH[i], wantH[i])
+			}
+		}
+
+		au, bu := randU8(m*k, rng), randU8(k*n, rng)
+		za, zb := int32(rng.Intn(256)), int32(rng.Intn(256))
+		gotQ, wantQ := make([]int32, m*n), make([]int32, m*n)
+		QGEMMPacked(PackAU8(au, m, k), bu, gotQ, n, za, zb)
+		QGEMMRef(au, bu, wantQ, m, k, n, za, zb)
+		for i := range gotQ {
+			if gotQ[i] != wantQ[i] {
+				t.Fatalf("q shape %v zp(%d,%d) elem %d: %d vs %d", s, za, zb, i, gotQ[i], wantQ[i])
+			}
+		}
+	}
+}
+
+// ForceRef must route every entry point, including the packed ones,
+// through the oracle loops.
+func TestForceRefRoutesToReference(t *testing.T) {
+	defer func() { ForceRef = false }()
+	rng := rand.New(rand.NewSource(41))
+	m, k, n := 6, 10, 5
+	a, b := randF32(m*k, rng), randF32(k*n, rng)
+	want := make([]float32, m*n)
+	F32Ref(a, b, want, m, k, n)
+	ForceRef = true
+	got := make([]float32, m*n)
+	F32(a, b, got, m, k, n)
+	gotP := make([]float32, m*n)
+	F32Packed(PackAF32(a, m, k), b, gotP, n)
+	for i := range want {
+		// The reference is deterministic: forced results are identical.
+		if got[i] != want[i] || gotP[i] != want[i] {
+			t.Fatalf("elem %d: ForceRef results %v/%v differ from ref %v", i, got[i], gotP[i], want[i])
+		}
+	}
+}
+
 func BenchmarkF32GEMM128(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	m, k, n := 128, 128, 128
@@ -318,4 +395,44 @@ func BenchmarkF16GEMM64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		F16GEMM(a, bb, c, m, k, n)
 	}
+}
+
+// Tiled-vs-oracle benchmark pairs on the two workload shapes that matter
+// for serving: conv-shaped (square-ish, im2col patches) and FC-shaped
+// (GEMV). Run with -cpu=1 for the single-thread kernel comparison that
+// BENCH_gemm.json tracks; `mulayer-bench -gemm` sweeps the full zoo.
+func benchQ(b *testing.B, m, k, n int, kernel func(a, bb []uint8, acc []int32, pa *PackedAU8)) {
+	rng := rand.New(rand.NewSource(12))
+	a, bb := randU8(m*k, rng), randU8(k*n, rng)
+	acc := make([]int32, m*n)
+	pa := PackAU8(a, m, k)
+	b.SetBytes(int64(m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(a, bb, acc, pa)
+	}
+}
+
+func BenchmarkQGEMMConvShapedRef(b *testing.B) {
+	benchQ(b, 96, 1152, 784, func(a, bb []uint8, acc []int32, _ *PackedAU8) {
+		QGEMMRef(a, bb, acc, 96, 1152, 784, 128, 3)
+	})
+}
+
+func BenchmarkQGEMMConvShapedPacked(b *testing.B) {
+	benchQ(b, 96, 1152, 784, func(_, bb []uint8, acc []int32, pa *PackedAU8) {
+		QGEMMPacked(pa, bb, acc, 784, 128, 3)
+	})
+}
+
+func BenchmarkQGEMMFCShapedRef(b *testing.B) {
+	benchQ(b, 1024, 4096, 1, func(a, bb []uint8, acc []int32, _ *PackedAU8) {
+		QGEMMRef(a, bb, acc, 1024, 4096, 1, 128, 3)
+	})
+}
+
+func BenchmarkQGEMMFCShapedPacked(b *testing.B) {
+	benchQ(b, 1024, 4096, 1, func(_, bb []uint8, acc []int32, pa *PackedAU8) {
+		QGEMMPacked(pa, bb, acc, 1, 128, 3)
+	})
 }

@@ -1,0 +1,226 @@
+package gemm
+
+import (
+	"sync"
+
+	"mulayer/internal/f16"
+)
+
+// Operand packing for the register-tiled kernels (tiled.go).
+//
+// The left operand of every layer GEMM is the weight matrix, which is
+// reused on every request: convolutions multiply (OutC × InC·KH·KW)
+// filters against im2col patches, fully-connected layers multiply
+// (OutC × InFeatures) weights against activation vectors. Packing it once
+// into panel-contiguous form — gemmlowp- and Marlin-style — and caching
+// the packed form per layer amortizes the reorder across all requests,
+// while the streaming right operand (patches / activations) is packed per
+// call inside the tiled drivers.
+//
+// Layout: rows are grouped into panels of mr; within a panel the elements
+// are stored k-major, mr values per k step:
+//
+//	data[panel*mr*K + l*mr + r] == A[(panel*mr+r)*K + l]
+//
+// so the micro-kernel reads one contiguous stream of mr values per k
+// iteration. The row count is padded up to a multiple of mr with zeros
+// (never written back), which lets every row tile run at full height.
+
+// PackedAF32 is a float32 weight matrix packed into mr-row panels.
+type PackedAF32 struct {
+	M, K int
+	data []float32
+}
+
+// PackAF32 packs row-major a (m×k) into panel form.
+func PackAF32(a []float32, m, k int) *PackedAF32 {
+	if m <= 0 || k <= 0 {
+		panic("gemm: non-positive dimension")
+	}
+	if len(a) < m*k {
+		panic("gemm: buffer too small for dimensions")
+	}
+	mp := (m + mr - 1) / mr * mr
+	data := make([]float32, mp*k)
+	for r0 := 0; r0 < m; r0 += mr {
+		rows := m - r0
+		if rows > mr {
+			rows = mr
+		}
+		dst := data[r0*k:]
+		for r := 0; r < rows; r++ {
+			src := a[(r0+r)*k : (r0+r+1)*k]
+			for l, v := range src {
+				dst[l*mr+r] = v
+			}
+		}
+	}
+	return &PackedAF32{M: m, K: k, data: data}
+}
+
+// Unpack reconstructs the original row-major matrix exactly.
+func (p *PackedAF32) Unpack() []float32 {
+	out := make([]float32, p.M*p.K)
+	for i := 0; i < p.M; i++ {
+		base := (i / mr * mr) * p.K
+		r := i % mr
+		for l := 0; l < p.K; l++ {
+			out[i*p.K+l] = p.data[base+l*mr+r]
+		}
+	}
+	return out
+}
+
+// PackedAU8 is a uint8 weight matrix packed into mr-row panels, plus the
+// per-row operand sums used by the gemmlowp zero-point decomposition:
+//
+//	Σ_l (a-za)(b-zb) = Σ_l a·b − zb·Σ_l a − za·Σ_l b + k·za·zb
+//
+// The row sums make the za/zb corrections an O(m+n) epilogue instead of
+// two subtractions per multiply-accumulate. int32 addition wraps, so the
+// decomposition is bit-identical to the naive reference mod 2³².
+type PackedAU8 struct {
+	M, K    int
+	data    []uint8
+	rowSums []int32
+}
+
+// PackAU8 packs row-major a (m×k) into panel form with row sums.
+func PackAU8(a []uint8, m, k int) *PackedAU8 {
+	if m <= 0 || k <= 0 {
+		panic("gemm: non-positive dimension")
+	}
+	if len(a) < m*k {
+		panic("gemm: buffer too small for dimensions")
+	}
+	mp := (m + mr - 1) / mr * mr
+	data := make([]uint8, mp*k)
+	sums := make([]int32, mp)
+	for r0 := 0; r0 < m; r0 += mr {
+		rows := m - r0
+		if rows > mr {
+			rows = mr
+		}
+		dst := data[r0*k:]
+		for r := 0; r < rows; r++ {
+			src := a[(r0+r)*k : (r0+r+1)*k]
+			var s int32
+			for l, v := range src {
+				dst[l*mr+r] = v
+				s += int32(v)
+			}
+			sums[r0+r] = s
+		}
+	}
+	return &PackedAU8{M: m, K: k, data: data, rowSums: sums}
+}
+
+// Unpack reconstructs the original row-major matrix exactly.
+func (p *PackedAU8) Unpack() []uint8 {
+	out := make([]uint8, p.M*p.K)
+	for i := 0; i < p.M; i++ {
+		base := (i / mr * mr) * p.K
+		r := i % mr
+		for l := 0; l < p.K; l++ {
+			out[i*p.K+l] = p.data[base+l*mr+r]
+		}
+	}
+	return out
+}
+
+// PackedAF16 is a binary16 weight matrix packed into mr-row panels. The
+// elements are stored widened to float32 — the conversion is exact, the
+// F16 kernels accumulate in float32 anyway (see F16GEMM), and widening at
+// pack time moves the per-element conversion out of the O(m·k·n) inner
+// loop into the O(m·k) pack.
+type PackedAF16 struct {
+	M, K int
+	data []float32
+}
+
+// PackAF16 packs row-major a (m×k) into widened panel form.
+func PackAF16(a []f16.F16, m, k int) *PackedAF16 {
+	if m <= 0 || k <= 0 {
+		panic("gemm: non-positive dimension")
+	}
+	if len(a) < m*k {
+		panic("gemm: buffer too small for dimensions")
+	}
+	mp := (m + mr - 1) / mr * mr
+	data := make([]float32, mp*k)
+	for r0 := 0; r0 < m; r0 += mr {
+		rows := m - r0
+		if rows > mr {
+			rows = mr
+		}
+		dst := data[r0*k:]
+		for r := 0; r < rows; r++ {
+			src := a[(r0+r)*k : (r0+r+1)*k]
+			for l, v := range src {
+				dst[l*mr+r] = v.Float32()
+			}
+		}
+	}
+	return &PackedAF16{M: m, K: k, data: data}
+}
+
+// Unpack reconstructs the original row-major matrix exactly (every
+// binary16 value round-trips through float32 unchanged).
+func (p *PackedAF16) Unpack() []f16.F16 {
+	out := make([]f16.F16, p.M*p.K)
+	for i := 0; i < p.M; i++ {
+		base := (i / mr * mr) * p.K
+		r := i % mr
+		for l := 0; l < p.K; l++ {
+			out[i*p.K+l] = f16.FromFloat32(p.data[base+l*mr+r])
+		}
+	}
+	return out
+}
+
+// PackCache memoizes packed weight panels per output-channel range
+// [c0,c1). Layers keep one cache per weight form; split execution hits it
+// concurrently from the CPU and GPU sides of a plan, so it is safe for
+// concurrent readers. build runs under the lock: concurrent first lookups
+// of the same range pack exactly once and share the result.
+type PackCache[T any] struct {
+	mu sync.RWMutex
+	m  map[[2]int]*T
+}
+
+// Get returns the cached pack for [c0,c1), building and caching it on the
+// first lookup.
+func (c *PackCache[T]) Get(c0, c1 int, build func() *T) *T {
+	key := [2]int{c0, c1}
+	c.mu.RLock()
+	p := c.m[key]
+	c.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.m[key]; p != nil {
+		return p
+	}
+	if c.m == nil {
+		c.m = make(map[[2]int]*T)
+	}
+	p = build()
+	c.m[key] = p
+	return p
+}
+
+// Reset drops every cached pack (weights changed, e.g. requantization).
+func (c *PackCache[T]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}
+
+// Len reports the number of cached ranges.
+func (c *PackCache[T]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,418 @@
+package gemm
+
+import "mulayer/internal/f16"
+
+// Register-tiled micro-kernels over packed operands.
+//
+// The drivers here implement the GotoBLAS/gemmlowp loop structure scaled
+// to what pure Go can exploit: the weight operand arrives packed into
+// mr-row panels (pack.go), the streaming operand is packed per call into
+// column panels of the kernel width (nrF for float, nrQ for QUInt8), and
+// the inner loops compute full register tiles — mr×nrF float32
+// accumulators, mr×nrQ int32 accumulators — instead of one scalar dot
+// product at a time. Row panels are sharded across goroutines by
+// parallelRows, whose blockM stride is a multiple of mr, so workers
+// always own whole panels of the packed grid.
+//
+// Column tails narrower than the kernel width run through dedicated
+// tail kernels at their true width; the n==1 (GEMV, FC-shaped) case gets
+// a k-unrolled kernel of its own since fully-connected layers spend all
+// their time there.
+//
+// Float kernels accumulate each c[i,j] in one float32 accumulator in
+// ascending-k order — exactly the reference kernels' order — so F16
+// results stay bit-identical to F16Ref and F32 differs from F32Ref only
+// by the absence of a defined evaluation order guarantee for the final
+// rounding (tests use tolerances for F32, exact equality for F16 and
+// QUInt8).
+
+const (
+	// mr is the register-tile height (packed A panel height).
+	mr = 4
+	// nrF is the float register-tile width.
+	nrF = 4
+	// nrQ is the QUInt8 register-tile width.
+	nrQ = 8
+)
+
+// packBF32 packs row-major b (k×n) into nrF-column panels. Full panels
+// are returned in pb, panel jp covering columns [jp*nrF, jp*nrF+nrF) at
+// offset jp*nrF*k; a tail of tw = n%nrF columns is packed at its true
+// width. For n==1 the tail aliases b directly — the column is already
+// contiguous.
+func packBF32(b []float32, k, n int) (pb, tail []float32, tw int) {
+	tw = n % nrF
+	nFull := n - tw
+	if nFull > 0 {
+		pb = make([]float32, k*nFull)
+		for j0 := 0; j0 < nFull; j0 += nrF {
+			dst := pb[j0*k:]
+			di := 0
+			for l := 0; l < k; l++ {
+				src := b[l*n+j0 : l*n+j0+nrF : l*n+j0+nrF]
+				dst[di] = src[0]
+				dst[di+1] = src[1]
+				dst[di+2] = src[2]
+				dst[di+3] = src[3]
+				di += nrF
+			}
+		}
+	}
+	if tw > 0 {
+		if n == 1 {
+			return pb, b[:k], tw
+		}
+		tail = make([]float32, k*tw)
+		for l := 0; l < k; l++ {
+			copy(tail[l*tw:(l+1)*tw], b[l*n+nFull:l*n+n])
+		}
+	}
+	return pb, tail, tw
+}
+
+// packBF16 packs row-major b (k×n) into nrF-column float32-widened
+// panels (widening is exact; see PackedAF16).
+func packBF16(b []f16.F16, k, n int) (pb, tail []float32, tw int) {
+	tw = n % nrF
+	nFull := n - tw
+	if nFull > 0 {
+		pb = make([]float32, k*nFull)
+		for j0 := 0; j0 < nFull; j0 += nrF {
+			dst := pb[j0*k:]
+			di := 0
+			for l := 0; l < k; l++ {
+				src := b[l*n+j0 : l*n+j0+nrF : l*n+j0+nrF]
+				dst[di] = src[0].Float32()
+				dst[di+1] = src[1].Float32()
+				dst[di+2] = src[2].Float32()
+				dst[di+3] = src[3].Float32()
+				di += nrF
+			}
+		}
+	}
+	if tw > 0 {
+		tail = make([]float32, k*tw)
+		for l := 0; l < k; l++ {
+			for j := 0; j < tw; j++ {
+				tail[l*tw+j] = b[l*n+nFull+j].Float32()
+			}
+		}
+	}
+	return pb, tail, tw
+}
+
+// packBU8 packs row-major b (k×n) into nrQ-column panels and computes the
+// per-column sums for the zero-point decomposition. For n==1 the tail
+// aliases b directly.
+func packBU8(b []uint8, k, n int) (pb, tail []uint8, tw int, colSums []int32) {
+	tw = n % nrQ
+	nFull := n - tw
+	colSums = make([]int32, n)
+	if nFull > 0 {
+		pb = make([]uint8, k*nFull)
+		for j0 := 0; j0 < nFull; j0 += nrQ {
+			dst := pb[j0*k:]
+			sums := colSums[j0 : j0+nrQ : j0+nrQ]
+			di := 0
+			for l := 0; l < k; l++ {
+				src := b[l*n+j0 : l*n+j0+nrQ : l*n+j0+nrQ]
+				for j, v := range src {
+					dst[di+j] = v
+					sums[j] += int32(v)
+				}
+				di += nrQ
+			}
+		}
+	}
+	if tw > 0 {
+		sums := colSums[nFull:]
+		if n == 1 {
+			tail = b[:k]
+			for _, v := range tail {
+				sums[0] += int32(v)
+			}
+			return pb, tail, tw, colSums
+		}
+		tail = make([]uint8, k*tw)
+		for l := 0; l < k; l++ {
+			src := b[l*n+nFull : l*n+n]
+			for j, v := range src {
+				tail[l*tw+j] = v
+				sums[j] += int32(v)
+			}
+		}
+	}
+	return pb, tail, tw, colSums
+}
+
+// f32Ker4x4 computes one mr×nrF tile: dst[r*ldc+j] = Σ_l pa[l,r]·pb[l,j]
+// for the packed panel pa (mr-interleaved) and packed column panel pb
+// (nrF-interleaved), writing back the first rows rows.
+func f32Ker4x4(pa, pb []float32, kk int, dst []float32, ldc, rows int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	for l := 0; l < kk; l++ {
+		aa := pa[l*mr : l*mr+mr : l*mr+mr]
+		bb := pb[l*nrF : l*nrF+nrF : l*nrF+nrF]
+		a0, a1, a2, a3 := aa[0], aa[1], aa[2], aa[3]
+		b0, b1, b2, b3 := bb[0], bb[1], bb[2], bb[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	t := [mr][nrF]float32{
+		{c00, c01, c02, c03},
+		{c10, c11, c12, c13},
+		{c20, c21, c22, c23},
+		{c30, c31, c32, c33},
+	}
+	for r := 0; r < rows; r++ {
+		copy(dst[r*ldc:r*ldc+nrF], t[r][:])
+	}
+}
+
+// f32KerTail computes an mr×tw tile (tw < nrF) one column at a time.
+// Accumulation stays single-accumulator ascending-k per element, so F16
+// exactness is preserved.
+func f32KerTail(pa, tail []float32, kk, tw int, dst []float32, ldc, rows int) {
+	for j := 0; j < tw; j++ {
+		var s0, s1, s2, s3 float32
+		ai, bi := 0, j
+		for l := 0; l < kk; l++ {
+			aa := pa[ai : ai+mr : ai+mr]
+			bv := tail[bi]
+			s0 += aa[0] * bv
+			s1 += aa[1] * bv
+			s2 += aa[2] * bv
+			s3 += aa[3] * bv
+			ai += mr
+			bi += tw
+		}
+		t := [mr]float32{s0, s1, s2, s3}
+		for r := 0; r < rows; r++ {
+			dst[r*ldc+j] = t[r]
+		}
+	}
+}
+
+// qKer4x8 computes one mr×nrQ QUInt8 tile of raw uint8·uint8 dot products
+// and applies the zero-point corrections at writeback:
+//
+//	dst[r,j] = Σ_l a·b + rowAdj[r] − cAdj[j]
+//
+// where rowAdj[r] = k·za·zb − zb·rowSum[r] and cAdj[j] = za·colSum[j].
+func qKer4x8(pa, pb []uint8, kk int, dst []int32, ldc, rows int, rowAdj *[mr]int32, cAdj []int32) {
+	var c00, c01, c02, c03, c04, c05, c06, c07 int32
+	var c10, c11, c12, c13, c14, c15, c16, c17 int32
+	var c20, c21, c22, c23, c24, c25, c26, c27 int32
+	var c30, c31, c32, c33, c34, c35, c36, c37 int32
+	for l := 0; l < kk; l++ {
+		aa := pa[l*mr : l*mr+mr : l*mr+mr]
+		bb := pb[l*nrQ : l*nrQ+nrQ : l*nrQ+nrQ]
+		a0, a1, a2, a3 := int32(aa[0]), int32(aa[1]), int32(aa[2]), int32(aa[3])
+		b0, b1, b2, b3 := int32(bb[0]), int32(bb[1]), int32(bb[2]), int32(bb[3])
+		b4, b5, b6, b7 := int32(bb[4]), int32(bb[5]), int32(bb[6]), int32(bb[7])
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c04 += a0 * b4
+		c05 += a0 * b5
+		c06 += a0 * b6
+		c07 += a0 * b7
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c14 += a1 * b4
+		c15 += a1 * b5
+		c16 += a1 * b6
+		c17 += a1 * b7
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c24 += a2 * b4
+		c25 += a2 * b5
+		c26 += a2 * b6
+		c27 += a2 * b7
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		c34 += a3 * b4
+		c35 += a3 * b5
+		c36 += a3 * b6
+		c37 += a3 * b7
+	}
+	t := [mr][nrQ]int32{
+		{c00, c01, c02, c03, c04, c05, c06, c07},
+		{c10, c11, c12, c13, c14, c15, c16, c17},
+		{c20, c21, c22, c23, c24, c25, c26, c27},
+		{c30, c31, c32, c33, c34, c35, c36, c37},
+	}
+	ca := cAdj[:nrQ:nrQ]
+	for r := 0; r < rows; r++ {
+		ra := rowAdj[r]
+		d := dst[r*ldc : r*ldc+nrQ : r*ldc+nrQ]
+		for j := 0; j < nrQ; j++ {
+			d[j] = t[r][j] + ra - ca[j]
+		}
+	}
+}
+
+// qKerGemv computes an mr×1 tile (the FC-shaped n==1 case), unrolled 4×
+// over k. Integer addition wraps, so the regrouped accumulation is
+// bit-identical to the reference.
+func qKerGemv(pa, bt []uint8, kk int, dst []int32, ldc, rows int, rowAdj *[mr]int32, cAdj int32) {
+	var s0, s1, s2, s3 int32
+	l := 0
+	for ; l+4 <= kk; l += 4 {
+		aa := pa[l*mr : l*mr+4*mr : l*mr+4*mr]
+		bb := bt[l : l+4 : l+4]
+		b0, b1, b2, b3 := int32(bb[0]), int32(bb[1]), int32(bb[2]), int32(bb[3])
+		s0 += int32(aa[0])*b0 + int32(aa[4])*b1 + int32(aa[8])*b2 + int32(aa[12])*b3
+		s1 += int32(aa[1])*b0 + int32(aa[5])*b1 + int32(aa[9])*b2 + int32(aa[13])*b3
+		s2 += int32(aa[2])*b0 + int32(aa[6])*b1 + int32(aa[10])*b2 + int32(aa[14])*b3
+		s3 += int32(aa[3])*b0 + int32(aa[7])*b1 + int32(aa[11])*b2 + int32(aa[15])*b3
+	}
+	for ; l < kk; l++ {
+		aa := pa[l*mr : l*mr+mr : l*mr+mr]
+		bv := int32(bt[l])
+		s0 += int32(aa[0]) * bv
+		s1 += int32(aa[1]) * bv
+		s2 += int32(aa[2]) * bv
+		s3 += int32(aa[3]) * bv
+	}
+	t := [mr]int32{s0, s1, s2, s3}
+	for r := 0; r < rows; r++ {
+		dst[r*ldc] = t[r] + rowAdj[r] - cAdj
+	}
+}
+
+// qKerTail computes an mr×tw tile (1 < tw < nrQ) one column at a time.
+func qKerTail(pa, tail []uint8, kk, tw int, dst []int32, ldc, rows int, rowAdj *[mr]int32, cAdj []int32) {
+	for j := 0; j < tw; j++ {
+		var s0, s1, s2, s3 int32
+		ai, bi := 0, j
+		for l := 0; l < kk; l++ {
+			aa := pa[ai : ai+mr : ai+mr]
+			bv := int32(tail[bi])
+			s0 += int32(aa[0]) * bv
+			s1 += int32(aa[1]) * bv
+			s2 += int32(aa[2]) * bv
+			s3 += int32(aa[3]) * bv
+			ai += mr
+			bi += tw
+		}
+		t := [mr]int32{s0, s1, s2, s3}
+		for r := 0; r < rows; r++ {
+			dst[r*ldc+j] = t[r] + rowAdj[r] - cAdj[j]
+		}
+	}
+}
+
+// f32MulPacked is the tiled driver for c = pa·b with b row-major (K×n).
+func f32MulPacked(pa *PackedAF32, b, c []float32, n int) {
+	k := pa.K
+	pb, tail, tw := packBF32(b, k, n)
+	nFull := n - tw
+	parallelRows(pa.M, func(i0, i1 int) {
+		for r0 := i0; r0 < i1; r0 += mr {
+			rows := i1 - r0
+			if rows > mr {
+				rows = mr
+			}
+			panel := pa.data[r0*k : (r0+mr)*k]
+			dst := c[r0*n:]
+			for j0 := 0; j0 < nFull; j0 += nrF {
+				f32Ker4x4(panel, pb[j0*k:], k, dst[j0:], n, rows)
+			}
+			if tw > 0 {
+				f32KerTail(panel, tail, k, tw, dst[nFull:], n, rows)
+			}
+		}
+	})
+}
+
+// f16MulPacked is the tiled driver for binary16 results: the float32
+// kernels accumulate into a per-panel scratch strip which is rounded to
+// binary16 once per element, matching F16Ref bit-for-bit.
+func f16MulPacked(pa *PackedAF16, b, c []f16.F16, n int) {
+	k := pa.K
+	pb, tail, tw := packBF16(b, k, n)
+	nFull := n - tw
+	parallelRows(pa.M, func(i0, i1 int) {
+		scratch := make([]float32, mr*n)
+		for r0 := i0; r0 < i1; r0 += mr {
+			rows := i1 - r0
+			if rows > mr {
+				rows = mr
+			}
+			panel := pa.data[r0*k : (r0+mr)*k]
+			for j0 := 0; j0 < nFull; j0 += nrF {
+				f32Ker4x4(panel, pb[j0*k:], k, scratch[j0:], n, rows)
+			}
+			if tw > 0 {
+				f32KerTail(panel, tail, k, tw, scratch[nFull:], n, rows)
+			}
+			for r := 0; r < rows; r++ {
+				src := scratch[r*n : r*n+n]
+				d := c[(r0+r)*n : (r0+r)*n+n]
+				for j, v := range src {
+					d[j] = f16.FromFloat32(v)
+				}
+			}
+		}
+	})
+}
+
+// qMulPacked is the tiled driver for the gemmlowp accumulator matrix.
+func qMulPacked(pa *PackedAU8, b []uint8, acc []int32, n int, za, zb int32) {
+	k := pa.K
+	pb, tail, tw, colSums := packBU8(b, k, n)
+	base := int32(k) * za * zb
+	cAdj := colSums // reuse in place: cAdj[j] = za·colSum[j]
+	for j, s := range colSums {
+		cAdj[j] = za * s
+	}
+	nFull := n - tw
+	parallelRows(pa.M, func(i0, i1 int) {
+		for r0 := i0; r0 < i1; r0 += mr {
+			rows := i1 - r0
+			if rows > mr {
+				rows = mr
+			}
+			panel := pa.data[r0*k : (r0+mr)*k]
+			var rowAdj [mr]int32
+			for r := 0; r < rows; r++ {
+				rowAdj[r] = base - zb*pa.rowSums[r0+r]
+			}
+			dst := acc[r0*n:]
+			for j0 := 0; j0 < nFull; j0 += nrQ {
+				qKer4x8(panel, pb[j0*k:], k, dst[j0:], n, rows, &rowAdj, cAdj[j0:])
+			}
+			switch {
+			case tw == 1:
+				qKerGemv(panel, tail, k, dst[nFull:], n, rows, &rowAdj, cAdj[nFull])
+			case tw > 1:
+				qKerTail(panel, tail, k, tw, dst[nFull:], n, rows, &rowAdj, cAdj[nFull:])
+			}
+		}
+	})
+}

@@ -48,6 +48,25 @@ type Conv2D struct {
 	reqs    []quant.Requantizer // per-channel output stages (PerChannelW)
 	hwFromF []f16.F16
 	hwFromQ []f16.F16
+
+	// Packed-weight caches, one per weight form, keyed by the output
+	// channel range [c0,c1) a split plan assigns to a processor. Filters
+	// are reused on every request, so the im2col GEMMs run against
+	// panels packed once per (range, form) and shared across calls —
+	// including concurrent CPU/GPU halves of a split layer.
+	packF32 gemm.PackCache[gemm.PackedAF32]
+	packQ   gemm.PackCache[gemm.PackedAU8]
+	packHF  gemm.PackCache[gemm.PackedAF16]
+	packHQ  gemm.PackCache[gemm.PackedAF16]
+}
+
+// resetPacks drops the packed-weight caches after the underlying weight
+// forms change (SetQuant rebuilds the QUInt8 and binary16 sets).
+func (l *Conv2D) resetPacks() {
+	l.packF32.Reset()
+	l.packQ.Reset()
+	l.packHF.Reset()
+	l.packHQ.Reset()
 }
 
 // Name implements Layer.
@@ -128,6 +147,7 @@ func (l *Conv2D) SetQuant(in, out quant.Params) {
 	if l.W == nil {
 		panic("nn: SetQuant on spec-only Conv2D " + l.LayerName)
 	}
+	l.resetPacks()
 	if l.PerChannelW {
 		l.setQuantPerChannel(in, out)
 		return
@@ -209,11 +229,14 @@ func (l *Conv2D) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0, c1 int
 	plane := oh * ow
 	if l.groups() == 1 {
 		k := g.PatchRows()
+		pw := l.packF32.Get(c0, c1, func() *gemm.PackedAF32 {
+			return gemm.PackAF32(l.W.Data[c0*k:c1*k], c1-c0, k)
+		})
 		patches := make([]float32, k*g.PatchCols())
 		for n := 0; n < in.Shape.N; n++ {
 			gemm.Im2ColF32(in.Data[n*l.InC*in.Shape.H*in.Shape.W:(n+1)*l.InC*in.Shape.H*in.Shape.W], g, patches)
 			lo, _ := out.Shape.ChannelSpan(n, c0, c1)
-			gemm.F32(l.W.Data[c0*k:c1*k], patches, out.Data[lo:lo+(c1-c0)*plane], c1-c0, k, plane)
+			gemm.F32Packed(pw, patches, out.Data[lo:lo+(c1-c0)*plane], plane)
 		}
 	} else {
 		l.directF32(in, out, c0, c1)
@@ -283,11 +306,14 @@ func (l *Conv2D) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0, c1 int
 	za, zw := int32(in.Params.ZeroPoint), int32(l.QI.W.ZeroPoint)
 	if l.groups() == 1 {
 		k := g.PatchRows()
+		pw := l.packQ.Get(c0, c1, func() *gemm.PackedAU8 {
+			return gemm.PackAU8(l.wq.Data[c0*k:c1*k], c1-c0, k)
+		})
 		patches := make([]uint8, k*g.PatchCols())
 		acc := make([]int32, (c1-c0)*plane)
 		for n := 0; n < in.Shape.N; n++ {
 			gemm.Im2ColU8(in.Data[n*l.InC*in.Shape.H*in.Shape.W:(n+1)*l.InC*in.Shape.H*in.Shape.W], g, patches, in.Params.ZeroPoint)
-			gemm.QGEMM(l.wq.Data[c0*k:c1*k], patches, acc, c1-c0, k, plane, zw, za)
+			gemm.QGEMMPacked(pw, patches, acc, plane, zw, za)
 			lo, _ := out.Shape.ChannelSpan(n, c0, c1)
 			for r := 0; r < c1-c0; r++ {
 				rq := l.requantizerFor(in.Params, out.Params, c0+r, &req)
@@ -355,11 +381,12 @@ func (l *Conv2D) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 i
 	plane := oh * ow
 	if l.groups() == 1 {
 		k := g.PatchRows()
+		pw := l.packedHalfWeights(fromQ, c0, c1, k)
 		patches := make([]f16.F16, k*g.PatchCols())
 		for n := 0; n < in.Shape.N; n++ {
 			gemm.Im2ColF16(in.Data[n*l.InC*in.Shape.H*in.Shape.W:(n+1)*l.InC*in.Shape.H*in.Shape.W], g, patches)
 			lo, _ := out.Shape.ChannelSpan(n, c0, c1)
-			gemm.F16GEMM(w[c0*k:c1*k], patches, out.Data[lo:lo+(c1-c0)*plane], c1-c0, k, plane)
+			gemm.F16GEMMPacked(pw, patches, out.Data[lo:lo+(c1-c0)*plane], plane)
 		}
 	} else {
 		l.directF16(in, out, c0, c1, w)
@@ -376,6 +403,20 @@ func (l *Conv2D) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 i
 			}
 		}
 	}
+}
+
+// packedHalfWeights returns the cached packed binary16 weight panels for
+// output channels [c0,c1); fromQ selects the weight set as in
+// halfWeights.
+func (l *Conv2D) packedHalfWeights(fromQ bool, c0, c1, k int) *gemm.PackedAF16 {
+	w := l.halfWeights(fromQ)
+	cache := &l.packHF
+	if fromQ {
+		cache = &l.packHQ
+	}
+	return cache.Get(c0, c1, func() *gemm.PackedAF16 {
+		return gemm.PackAF16(w[c0*k:c1*k], c1-c0, k)
+	})
 }
 
 // directF16 handles grouped/depthwise half-precision convolutions,
@@ -446,19 +487,19 @@ func (l *Conv2D) ForwardQViaF16(ins []*tensor.QTensor, out *tensor.QTensor, c0, 
 // forwardF16NoBias runs only the multiply-accumulate portion with the
 // dequantized-from-QUInt8 weights.
 func (l *Conv2D) forwardF16NoBias(in *tensor.HTensor, out *tensor.HTensor, c0, c1 int) {
-	w := l.halfWeights(true)
 	g := l.geom(in.Shape)
 	plane := g.OutH() * g.OutW()
 	if l.groups() == 1 {
 		k := g.PatchRows()
+		pw := l.packedHalfWeights(true, c0, c1, k)
 		patches := make([]f16.F16, k*g.PatchCols())
 		for n := 0; n < in.Shape.N; n++ {
 			gemm.Im2ColF16(in.Data[n*l.InC*in.Shape.H*in.Shape.W:(n+1)*l.InC*in.Shape.H*in.Shape.W], g, patches)
 			lo, _ := out.Shape.ChannelSpan(n, c0, c1)
-			gemm.F16GEMM(w[c0*k:c1*k], patches, out.Data[lo:lo+(c1-c0)*plane], c1-c0, k, plane)
+			gemm.F16GEMMPacked(pw, patches, out.Data[lo:lo+(c1-c0)*plane], plane)
 		}
 	} else {
-		l.directF16(in, out, c0, c1, w)
+		l.directF16(in, out, c0, c1, l.halfWeights(true))
 	}
 }
 

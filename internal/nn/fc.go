@@ -24,6 +24,23 @@ type FullyConnected struct {
 	biasQ      []int32
 	hwFromF    []f16.F16
 	hwFromQ    []f16.F16
+
+	// Packed-weight caches keyed by neuron range, as in Conv2D. FC
+	// forwards are GEMVs, where packing the weights per call would cost
+	// as much as the multiply itself — the cache is what makes the
+	// tiled kernels pay off on FC-shaped work.
+	packF32 gemm.PackCache[gemm.PackedAF32]
+	packQ   gemm.PackCache[gemm.PackedAU8]
+	packHF  gemm.PackCache[gemm.PackedAF16]
+	packHQ  gemm.PackCache[gemm.PackedAF16]
+}
+
+// resetPacks drops the packed-weight caches after weight forms change.
+func (l *FullyConnected) resetPacks() {
+	l.packF32.Reset()
+	l.packQ.Reset()
+	l.packHF.Reset()
+	l.packHQ.Reset()
 }
 
 // Name implements Layer.
@@ -70,6 +87,7 @@ func (l *FullyConnected) SetQuant(in, out quant.Params) {
 	if l.W == nil {
 		panic("nn: SetQuant on spec-only FullyConnected " + l.LayerName)
 	}
+	l.resetPacks()
 	wmin, wmax := l.W.Range()
 	wp := quant.ChooseParams(wmin, wmax)
 	l.QI = QuantInfo{In: in, W: wp, Out: out, Ready: true}
@@ -95,10 +113,13 @@ func (l *FullyConnected) ForwardF32(ins []*tensor.Tensor, out *tensor.Tensor, c0
 	in := ins[0]
 	checkRange(c0, c1, l.OutC, l.LayerName)
 	k := l.InFeatures
+	pw := l.packF32.Get(c0, c1, func() *gemm.PackedAF32 {
+		return gemm.PackAF32(l.W.Data[c0*k:c1*k], c1-c0, k)
+	})
 	for n := 0; n < in.Shape.N; n++ {
 		vec := in.Data[n*k : (n+1)*k]
 		dst := out.Data[n*l.OutC+c0 : n*l.OutC+c1]
-		gemm.F32(l.W.Data[c0*k:c1*k], vec, dst, c1-c0, k, 1)
+		gemm.F32Packed(pw, vec, dst, 1)
 		for i := range dst {
 			var b float32
 			if l.Bias != nil {
@@ -119,10 +140,13 @@ func (l *FullyConnected) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0
 	req := quant.NewRequantizer(in.Params, l.QI.W, out.Params, l.Act)
 	k := l.InFeatures
 	za, zw := int32(in.Params.ZeroPoint), int32(l.QI.W.ZeroPoint)
+	pw := l.packQ.Get(c0, c1, func() *gemm.PackedAU8 {
+		return gemm.PackAU8(l.wq.Data[c0*k:c1*k], c1-c0, k)
+	})
 	acc := make([]int32, c1-c0)
 	for n := 0; n < in.Shape.N; n++ {
 		vec := in.Data[n*k : (n+1)*k]
-		gemm.QGEMM(l.wq.Data[c0*k:c1*k], vec, acc, c1-c0, k, 1, zw, za)
+		gemm.QGEMMPacked(pw, vec, acc, 1, zw, za)
 		for i, a := range acc {
 			out.Data[n*l.OutC+c0+i] = req.Requantize(a + l.biasQ[c0+i])
 		}
@@ -134,12 +158,12 @@ func (l *FullyConnected) ForwardQ(ins []*tensor.QTensor, out *tensor.QTensor, c0
 func (l *FullyConnected) ForwardF16(ins []*tensor.HTensor, out *tensor.HTensor, c0, c1 int, fromQ bool) {
 	in := ins[0]
 	checkRange(c0, c1, l.OutC, l.LayerName)
-	w := l.halfWeights(fromQ)
 	k := l.InFeatures
+	pw := l.packedHalfWeights(fromQ, c0, c1, k)
 	for n := 0; n < in.Shape.N; n++ {
 		vec := in.Data[n*k : (n+1)*k]
 		dst := out.Data[n*l.OutC+c0 : n*l.OutC+c1]
-		gemm.F16GEMM(w[c0*k:c1*k], vec, dst, c1-c0, k, 1)
+		gemm.F16GEMMPacked(pw, vec, dst, 1)
 		for i := range dst {
 			var b float32
 			if l.Bias != nil {
@@ -160,17 +184,31 @@ func (l *FullyConnected) ForwardQViaF16(ins []*tensor.QTensor, out *tensor.QTens
 	}
 	hin := tensor.DequantizeToHalf(in)
 	k := l.InFeatures
+	pw := l.packedHalfWeights(true, c0, c1, k)
 	biasScale := float64(in.Params.Scale) * float64(l.QI.W.Scale)
 	dst := make([]f16.F16, c1-c0)
 	for n := 0; n < in.Shape.N; n++ {
 		vec := hin.Data[n*k : (n+1)*k]
-		gemm.F16GEMM(l.hwFromQ[c0*k:c1*k], vec, dst, c1-c0, k, 1)
+		gemm.F16GEMMPacked(pw, vec, dst, 1)
 		for i := range dst {
 			b := f16.FromFloat32(float32(float64(l.biasQ[c0+i]) * biasScale))
 			v := f16.Add(dst[i], b)
 			out.Data[n*l.OutC+c0+i] = out.Params.Quantize(l.Act.Apply(v.Float32()))
 		}
 	}
+}
+
+// packedHalfWeights returns the cached packed binary16 weight panels for
+// neurons [c0,c1); fromQ selects the weight set as in halfWeights.
+func (l *FullyConnected) packedHalfWeights(fromQ bool, c0, c1, k int) *gemm.PackedAF16 {
+	w := l.halfWeights(fromQ)
+	cache := &l.packHF
+	if fromQ {
+		cache = &l.packHQ
+	}
+	return cache.Get(c0, c1, func() *gemm.PackedAF16 {
+		return gemm.PackAF16(w[c0*k:c1*k], c1-c0, k)
+	})
 }
 
 func (l *FullyConnected) halfWeights(fromQ bool) []f16.F16 {
