@@ -8,6 +8,7 @@
 #   make trace-smoke end-to-end tracing/observability run under the race detector
 #   make overload-smoke saturation run with the full overload stack armed
 #   make fleet-smoke three-backend fleet with a mid-run backend kill/restart
+#   make chaos-fleet-smoke four-backend fleet under injected network gray faults
 #   make fuzz-smoke  10s-per-target fuzz pass over every fuzz corpus
 #   make bench-serving 1-vs-4-backend goodput benchmark -> BENCH_serving.json
 #   make bench-gemm  packed-vs-reference kernel benchmark -> BENCH_gemm.json
@@ -25,10 +26,13 @@ COVER_FLOOR ?= 75
 # internal/gemm statement coverage floor (measured 94.2% when the
 # packed/tiled kernels landed).
 GEMM_COVER_FLOOR ?= 88
+# internal/frontend statement coverage floor (measured 89.5% when the
+# gray-failure stack landed).
+FRONTEND_COVER_FLOOR ?= 80
 
-.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke bench-serving bench-gemm bench-gemm-smoke serve load
+.PHONY: ci build vet test race cover chaos-smoke trace-smoke overload-smoke fleet-smoke chaos-fleet-smoke fuzz-smoke bench-serving bench-gemm bench-gemm-smoke serve load
 
-ci: build vet race cover chaos-smoke trace-smoke overload-smoke fleet-smoke fuzz-smoke bench-gemm-smoke
+ci: build vet race cover chaos-smoke trace-smoke overload-smoke fleet-smoke chaos-fleet-smoke fuzz-smoke bench-gemm-smoke
 
 build:
 	$(GO) build ./...
@@ -52,7 +56,7 @@ cover:
 			if (p + 0 < f + 0) { printf "cover: %s %.1f%% is below the %s%% floor\n", pkg, p, f; exit 1 } \
 			printf "cover: %s %.1f%% (floor %s%%)\n", pkg, p, f }'; \
 	}; \
-	check ./internal/server/ $(COVER_FLOOR) && check ./internal/gemm/ $(GEMM_COVER_FLOOR)
+	check ./internal/server/ $(COVER_FLOOR) && check ./internal/gemm/ $(GEMM_COVER_FLOOR) && check ./internal/frontend/ $(FRONTEND_COVER_FLOOR)
 
 # Seeded chaos run: 160 requests against a faulty four-device pool under
 # the race detector. Fails on any escaped panic, untyped error, stranded
@@ -85,6 +89,7 @@ fuzz-smoke:
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeInferRequest$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzOverloadConfig$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/faults -run='^$$' -fuzz='^FuzzFaultConfig$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/faults/netfaults -run='^$$' -fuzz='^FuzzNetFaultConfig$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gemm -run='^$$' -fuzz='^FuzzF32$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gemm -run='^$$' -fuzz='^FuzzF16GEMM$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/gemm -run='^$$' -fuzz='^FuzzQGEMM$$' -fuzztime=$(FUZZTIME)
@@ -96,6 +101,15 @@ fuzz-smoke:
 # rejoin.
 fleet-smoke:
 	$(GO) test ./internal/frontend -race -count=1 -run='^TestFleetSmokeKillRestart$$' -v
+
+# Gray-failure chaos smoke: four live backends behind the frontend on a
+# fault-injected network (one gray-slow backend, one corrupting, lossy
+# default path) under sustained load and the race detector. Fails when
+# availability drops below 99%, any corrupt reply reaches a client, or
+# the slow backend is not ejected and then readmitted after the network
+# heals.
+chaos-fleet-smoke:
+	$(GO) test ./internal/frontend -race -count=1 -run='^TestChaosFleetGrayFailures$$' -v
 
 # Saturation goodput of 1 backend vs a 4-backend fleet through the
 # frontend, over real processes and loopback HTTP; writes BENCH_serving.json.

@@ -29,18 +29,28 @@
 // -spill-margin, the request spills. After a p95-derived hedge delay a budgeted second
 // attempt races the next-ranked replica; transport failures fail over;
 // backend 503s pass through untouched. See docs/serving.md.
+//
+// Gray failures: a backend whose served-latency p95 exceeds
+// -eject-factor times the fleet median for -eject-hold is ejected from
+// rotation and readmitted via the quarantine half-open probe; replies
+// failing the X-Mulayer-Checksum / body-length integrity check are
+// never delivered — the leg fails over like any transport error.
+// -net-faults arms a deterministic network fault injector on the
+// backend transport for chaos drills (see internal/faults/netfaults).
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"mulayer/internal/faults/netfaults"
 	"mulayer/internal/frontend"
 )
 
@@ -65,6 +75,14 @@ func main() {
 	spillFactor := flag.Float64("spill-factor", 0, "affinity yields to least-load when its predicted load exceeds this ratio (0 = default 2.0)")
 	spillMargin := flag.Duration("spill-margin", 0, "...and this absolute margin (0 = default 10ms)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "TCP dial budget per backend leg")
+	respHeaderTimeout := flag.Duration("response-header-timeout", 15*time.Second, "wait for a backend's response headers before the leg fails")
+	maxIdlePerHost := flag.Int("max-idle-per-host", 32, "idle connections kept warm per backend")
+	ejectFactor := flag.Float64("eject-factor", 0, "eject a backend whose latency p95 exceeds this multiple of the fleet median (0 = default 3.0, negative disables)")
+	ejectHold := flag.Duration("eject-hold", 2*time.Second, "how long the outlier condition must persist before ejection")
+	ejectMinSamples := flag.Int("eject-min-samples", 8, "served-latency samples required before a backend can be ejected")
+	ejectBackoff := flag.Duration("eject-backoff", 5*time.Second, "first ejection duration (doubles per re-ejection)")
+	netFaultSpec := flag.String("net-faults", "", "network fault injection spec: [target=host:port,]lat=R,latms=D,dialto=R,hangms=D,reset=R,drop=R,trunc=R,corrupt=R,seed=N,max=N blocks joined by ';' (empty = off)")
 	flag.Parse()
 
 	var urls []string
@@ -77,25 +95,46 @@ func main() {
 		log.Fatal("no backends: set -backends and/or -backends-file")
 	}
 
+	// The tuned transport is built explicitly so -net-faults can wrap it
+	// in the deterministic network fault injector (chaos drills against
+	// a live fleet).
+	var transport http.RoundTripper = frontend.NewHTTPTransport(*dialTimeout, *respHeaderTimeout, *maxIdlePerHost)
+	if *netFaultSpec != "" {
+		cfgs, err := netfaults.ParseSpec(*netFaultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		transport = netfaults.NewTransport(cfgs, transport)
+		log.Printf("network fault injection armed: %d target configs", len(cfgs))
+	}
+
 	fe, err := frontend.New(frontend.Config{
-		Addr:                 *addr,
-		Backends:             urls,
-		BackendsFile:         *backendsFile,
-		ProbeEvery:           *probeEvery,
-		ProbeTimeout:         *probeTimeout,
-		FailThreshold:        *failThreshold,
-		QuarantineBackoff:    *quarBackoff,
-		QuarantineBackoffMax: *quarBackoffMax,
-		MaxInflight:          *maxInflight,
-		MaxAttempts:          *maxAttempts,
-		RequestTimeout:       *reqTimeout,
-		HedgeBudget:          *hedgeBudget,
-		HedgeBurst:           *hedgeBurst,
-		HedgeMin:             *hedgeMin,
-		HedgeMax:             *hedgeMax,
-		SpillFactor:          *spillFactor,
-		SpillMargin:          *spillMargin,
-		DrainTimeout:         *drain,
+		Addr:                  *addr,
+		Backends:              urls,
+		BackendsFile:          *backendsFile,
+		ProbeEvery:            *probeEvery,
+		ProbeTimeout:          *probeTimeout,
+		FailThreshold:         *failThreshold,
+		QuarantineBackoff:     *quarBackoff,
+		QuarantineBackoffMax:  *quarBackoffMax,
+		MaxInflight:           *maxInflight,
+		MaxAttempts:           *maxAttempts,
+		RequestTimeout:        *reqTimeout,
+		HedgeBudget:           *hedgeBudget,
+		HedgeBurst:            *hedgeBurst,
+		HedgeMin:              *hedgeMin,
+		HedgeMax:              *hedgeMax,
+		SpillFactor:           *spillFactor,
+		SpillMargin:           *spillMargin,
+		DrainTimeout:          *drain,
+		DialTimeout:           *dialTimeout,
+		ResponseHeaderTimeout: *respHeaderTimeout,
+		MaxIdleConnsPerHost:   *maxIdlePerHost,
+		Transport:             transport,
+		EjectFactor:           *ejectFactor,
+		EjectHold:             *ejectHold,
+		EjectMinSamples:       *ejectMinSamples,
+		EjectBackoff:          *ejectBackoff,
 	}, log.Default())
 	if err != nil {
 		log.Fatal(err)

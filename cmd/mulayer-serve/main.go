@@ -16,6 +16,8 @@
 // Endpoints:
 //
 //	POST /v1/infer    {"model":"googlenet","mechanism":"mulayer","soc":"high","timeout_ms":500}
+//	                  replies carry X-Mulayer-Checksum: crc32c=... over the
+//	                  exact body so proxies can verify end-to-end integrity
 //	GET  /v1/models   loaded models, mechanisms, SoC classes
 //	GET  /healthz     liveness (always ok while the process runs)
 //	GET  /readyz      readiness: 503 while draining or all devices dead; per-device health

@@ -1,0 +1,146 @@
+package netfaults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec decodes a network-fault flag value into per-target configs.
+//
+// Grammar: semicolon-separated blocks of comma-separated key=value
+// pairs. A block with a target=host:port pair scopes to that backend;
+// a block without one is the default path for every untargeted backend:
+//
+//	drop=0.02,reset=0.01,seed=42
+//	target=127.0.0.1:8081,lat=1,latms=250;target=127.0.0.1:8082,corrupt=0.5
+//	dialto=0.05,hangms=500,max=20
+//
+// Keys:
+//
+//	seed    PRNG seed (integer)
+//	lat     per-request added-latency probability
+//	latms   injected latency in milliseconds (default 200)
+//	dialto  per-request dial black-hole probability
+//	hangms  how long a black-holed dial blocks, in ms (default 1000)
+//	reset   per-request connection-reset probability
+//	drop    per-request response-drop probability
+//	trunc   per-request body-truncation probability
+//	corrupt per-request body bit-flip probability
+//	target  scope the block to one backend (host:port)
+//	max     fault budget: stop injecting after this many faults (0 = ∞)
+//
+// Every malformed spec — unknown keys, bad numbers, out-of-range rates,
+// duplicate targets — returns an error, never a panic (FuzzNetFaultConfig
+// holds it to that). An empty spec returns an empty, non-nil map.
+func ParseSpec(spec string) (map[string]Config, error) {
+	out := make(map[string]Config)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return out, nil
+	}
+	for _, block := range strings.Split(spec, ";") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		cfg, err := parseBlock(block)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[cfg.Target]; dup {
+			return nil, fmt.Errorf("netfaults: duplicate spec for target %s", targetLabel(cfg.Target))
+		}
+		out[cfg.Target] = cfg
+	}
+	return out, nil
+}
+
+func targetLabel(target string) string {
+	if target == "" {
+		return "(all)"
+	}
+	return fmt.Sprintf("%q", target)
+}
+
+func parseBlock(block string) (Config, error) {
+	var cfg Config
+	seen := map[string]bool{}
+	for _, pair := range strings.Split(block, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return cfg, fmt.Errorf("netfaults: want key=value, got %q", pair)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return cfg, fmt.Errorf("netfaults: duplicate key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "seed", "max":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("netfaults: bad %s %q", key, val)
+			}
+			if key == "seed" {
+				cfg.Seed = n
+			} else {
+				if n < 0 || n > 1<<31 {
+					return cfg, fmt.Errorf("netfaults: fault budget %d out of range", n)
+				}
+				cfg.MaxFaults = int(n)
+			}
+		case "latms", "hangms":
+			ms, err := strconv.ParseFloat(val, 64)
+			if err != nil || ms < 0 || ms > 3.6e6 {
+				return cfg, fmt.Errorf("netfaults: bad %s %q", key, val)
+			}
+			d := time.Duration(ms * float64(time.Millisecond))
+			if key == "latms" {
+				cfg.Latency = d
+			} else {
+				cfg.DialHang = d
+			}
+		case "lat", "dialto", "reset", "drop", "trunc", "corrupt":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("netfaults: bad %s %q", key, val)
+			}
+			switch key {
+			case "lat":
+				cfg.LatencyRate = f
+			case "dialto":
+				cfg.DialTimeoutRate = f
+			case "reset":
+				cfg.ResetRate = f
+			case "drop":
+				cfg.DropRate = f
+			case "trunc":
+				cfg.TruncateRate = f
+			case "corrupt":
+				cfg.CorruptRate = f
+			}
+		case "target":
+			// Accept a bare host:port or a full backend URL.
+			val = strings.TrimPrefix(val, "http://")
+			val = strings.TrimPrefix(val, "https://")
+			val = strings.TrimSuffix(val, "/")
+			if val == "" {
+				return cfg, fmt.Errorf("netfaults: empty target")
+			}
+			cfg.Target = val
+		default:
+			return cfg, fmt.Errorf("netfaults: unknown key %q", key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

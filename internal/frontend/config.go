@@ -30,10 +30,31 @@ package frontend
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"time"
 
 	"mulayer/internal/dispatch"
 )
+
+// NewHTTPTransport builds the tuned transport the frontend proxies and
+// probes through: a bounded dial so a black-holed backend cannot hang a
+// failover or hedge leg, a response-header timeout so an accepted-but-
+// silent connection dies too, and a per-backend idle pool sized to the
+// hedging fan-out so bursts of legs reuse warm connections.
+func NewHTTPTransport(dialTimeout, responseHeaderTimeout time.Duration, maxIdlePerHost int) *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   dialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          4 * maxIdlePerHost,
+		MaxIdleConnsPerHost:   maxIdlePerHost,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: responseHeaderTimeout,
+		ExpectContinueTimeout: time.Second,
+	}
+}
 
 // Config configures the fleet frontend.
 type Config struct {
@@ -95,6 +116,44 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: how long Shutdown waits for
 	// proxied requests in flight (default 10s).
 	DrainTimeout time.Duration
+
+	// DialTimeout bounds one TCP dial to a backend (default 2s) so a
+	// black-holed backend fails a leg fast instead of hanging it.
+	DialTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait for a backend's response
+	// headers after the request is written (default 15s) — the gray
+	// counterpart of DialTimeout: a connection that opens but never
+	// answers.
+	ResponseHeaderTimeout time.Duration
+	// MaxIdleConnsPerHost sizes the per-backend idle connection pool.
+	// Hedge and failover legs open connections in bursts; keeping them
+	// warm stops every hedge from paying a fresh dial (default 32).
+	MaxIdleConnsPerHost int
+	// Transport overrides the proxy/probe HTTP transport entirely; nil
+	// builds a tuned http.Transport from the three knobs above. The
+	// -net-faults flag wraps the tuned transport in a
+	// netfaults.Transport here.
+	Transport http.RoundTripper
+
+	// EjectFactor is the outlier-ejection threshold: a backend whose
+	// observed success-latency p95 exceeds EjectFactor × the fleet
+	// median p95 for EjectHold is ejected from rotation (Envoy-style)
+	// even though it still answers /readyz — the gray-slow replica the
+	// circuit breaker cannot see. 0 means the default 3.0; negative
+	// disables ejection.
+	EjectFactor float64
+	// EjectHold is how long the outlier condition must persist before
+	// ejection (default 2s) — brief latency spikes do not eject.
+	EjectHold time.Duration
+	// EjectMinSamples is the minimum served-latency samples a backend
+	// needs in its window before it can be ejected or counted in the
+	// fleet median (default 8).
+	EjectMinSamples int
+	// EjectBackoff is the first ejection duration; each re-ejection of
+	// the same backend doubles it up to QuarantineBackoffMax (default
+	// 5s). Readmission is by time, Envoy-style: after the backoff the
+	// backend rejoins and must re-earn ejection with fresh samples.
+	EjectBackoff time.Duration
 
 	// Admission and Policy are the shared scheduling policies
 	// (internal/dispatch). Admission gates the in-flight bound (default
@@ -158,6 +217,30 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.ResponseHeaderTimeout <= 0 {
+		c.ResponseHeaderTimeout = 15 * time.Second
+	}
+	if c.MaxIdleConnsPerHost <= 0 {
+		c.MaxIdleConnsPerHost = 32
+	}
+	if c.Transport == nil {
+		c.Transport = NewHTTPTransport(c.DialTimeout, c.ResponseHeaderTimeout, c.MaxIdleConnsPerHost)
+	}
+	if c.EjectFactor == 0 {
+		c.EjectFactor = 3.0
+	}
+	if c.EjectHold <= 0 {
+		c.EjectHold = 2 * time.Second
+	}
+	if c.EjectMinSamples <= 0 {
+		c.EjectMinSamples = 8
+	}
+	if c.EjectBackoff <= 0 {
+		c.EjectBackoff = 5 * time.Second
 	}
 	if c.Admission == nil {
 		c.Admission = dispatch.BoundedQueue{}

@@ -40,6 +40,11 @@ func New(cfg Config, logger *log.Logger) (*Frontend, error) {
 			return 0
 		}
 		return float64(reg.HealthyCount())
+	}, func() float64 {
+		if reg == nil {
+			return 0
+		}
+		return float64(reg.EjectedCount())
 	})
 	reg, err = NewRegistry(cfg, mets)
 	if err != nil {
@@ -143,7 +148,10 @@ func (f *Frontend) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // fleetStatus is the /statusz reply: the fleet view.
 type fleetStatus struct {
-	Healthy     int             `json:"healthy"`
+	Healthy int `json:"healthy"`
+	// Ejected is how many backends the latency outlier ejector currently
+	// holds out of rotation (their rows carry the per-backend detail).
+	Ejected     int             `json:"ejected"`
 	Backends    []BackendStatus `json:"backends"`
 	Inflight    int64           `json:"inflight"`
 	HedgeTokens float64         `json:"hedge_tokens"`
@@ -153,6 +161,7 @@ type fleetStatus struct {
 func (f *Frontend) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, fleetStatus{
 		Healthy:     f.reg.HealthyCount(),
+		Ejected:     f.reg.EjectedCount(),
 		Backends:    f.reg.Snapshot(),
 		Inflight:    f.proxy.inflight.Load(),
 		HedgeTokens: f.proxy.hedgeTokenLevel(),

@@ -1,0 +1,256 @@
+package frontend
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mulayer/internal/server"
+)
+
+func TestJitterBackoffBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for _, u := range []float64{0, 0.25, 0.5, 0.999} {
+		j := jitterBackoff(d, u)
+		if j < 75*time.Millisecond || j >= 125*time.Millisecond {
+			t.Errorf("jitterBackoff(%v, %v) = %v, want [75ms, 125ms)", d, u, j)
+		}
+	}
+	// Tiny backoffs never jitter to zero (a zero until would half-open
+	// the circuit on the very next probe round).
+	if j := jitterBackoff(time.Microsecond, 0); j < time.Millisecond {
+		t.Errorf("floor: %v", j)
+	}
+}
+
+func TestVerifyIntegrity(t *testing.T) {
+	body := []byte(`{"model":"lenet5"}` + "\n")
+	resp := func(cl int64, sum string) *http.Response {
+		r := &http.Response{ContentLength: cl, Header: http.Header{}}
+		if sum != "" {
+			r.Header.Set(server.ChecksumHeader, sum)
+		}
+		return r
+	}
+	cases := []struct {
+		name   string
+		resp   *http.Response
+		reason string
+	}{
+		{"unknown length, no checksum", resp(-1, ""), ""},
+		{"exact length", resp(int64(len(body)), ""), ""},
+		{"short body", resp(int64(len(body))+3, ""), "length"},
+		{"long body", resp(int64(len(body))-1, ""), "length"},
+		{"matching checksum", resp(-1, server.BodyChecksum(body)), ""},
+		{"wrong checksum", resp(-1, "crc32c=deadbeef"), "checksum"},
+		// A truncated reply keeps its stale Content-Length: the length
+		// check fires first and carries the more precise reason.
+		{"both wrong", resp(int64(len(body))+3, "crc32c=deadbeef"), "length"},
+	}
+	for _, tc := range cases {
+		reason, err := verifyIntegrity(tc.resp, body)
+		if reason != tc.reason {
+			t.Errorf("%s: reason %q, want %q", tc.name, reason, tc.reason)
+		}
+		if (err != nil) != (tc.reason != "") {
+			t.Errorf("%s: err %v with reason %q", tc.name, err, tc.reason)
+		}
+	}
+}
+
+// grabBackend fetches the registry's backend struct for a URL.
+func grabBackend(t *testing.T, r *Registry, url string) *backend {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.backends[url]
+	if !ok {
+		t.Fatalf("backend %s not registered", url)
+	}
+	return b
+}
+
+// TestOutlierEjection walks a gray-slow backend through the ejector:
+// consistently slow served latencies eject it from rotation (it still
+// answers /readyz, so only passive evidence can), and the quarantine
+// half-open probe readmits it once its backoff expires.
+func TestOutlierEjection(t *testing.T) {
+	leakCheck(t)
+	fbs := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	urls := []string{fbs[0].ts.URL, fbs[1].ts.URL, fbs[2].ts.URL}
+	f, fts := newTestFrontend(t, Config{
+		Backends:        urls,
+		ProbeEvery:      20 * time.Millisecond,
+		ProbeTimeout:    500 * time.Millisecond,
+		EjectFactor:     3,
+		EjectHold:       40 * time.Millisecond,
+		EjectMinSamples: 4,
+		EjectBackoff:    300 * time.Millisecond,
+	})
+	reg := f.Registry()
+
+	// Two healthy backends at ~5ms, one gray-slow at 100ms. Feeding
+	// observeSuccess directly is the same path proxied replies take.
+	slow := grabBackend(t, reg, urls[2])
+	feed := func() {
+		for i, u := range urls {
+			lat := 5 * time.Millisecond
+			if i == 2 {
+				lat = 100 * time.Millisecond
+			}
+			reg.observeSuccess(grabBackend(t, reg, u), lat, true)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		feed()
+	}
+	eventually(t, 3*time.Second, "slow backend ejected", func() bool {
+		return reg.EjectedCount() == 1
+	})
+
+	// A straggling leg landing as 2xx after the ejection must not
+	// readmit it: an ejected backend's replies are successful by
+	// construction (it is slow, not broken), so only the half-open probe
+	// after the backoff may let it back in.
+	reg.observeSuccess(slow, 5*time.Millisecond, true)
+	if reg.EjectedCount() != 1 {
+		t.Fatal("a passive served reply short-circuited the ejection backoff")
+	}
+
+	// While ejected it is not a routing candidate, and the surfaces say so.
+	ranked, _ := reg.Rank("lenet5", nil)
+	for _, b := range ranked {
+		if b.url == urls[2] {
+			t.Fatal("ejected backend still ranked")
+		}
+	}
+	resp, err := http.Get(fts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(data), `"ejected":1`) {
+		t.Errorf("statusz does not count the ejection: %s", data)
+	}
+
+	// The backend still answers /readyz, so the half-open probe readmits
+	// it once the ejection backoff expires.
+	eventually(t, 3*time.Second, "slow backend readmitted", func() bool {
+		return reg.EjectedCount() == 0 && reg.HealthyCount() == 3
+	})
+	reg.mu.Lock()
+	ejections := slow.ejections
+	reg.mu.Unlock()
+	if ejections < 1 {
+		t.Fatalf("ejections = %d, want >= 1", ejections)
+	}
+	resp, err = http.Get(fts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"mulayer_frontend_ejections_total",
+		`event="ejected"`,
+		`event="readmitted"`,
+		"mulayer_frontend_backends_ejected 0",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestEjectionCapFleetwideSlowdown: when every backend is slow (overload,
+// not grayness) the median moves with them and nobody is ejected; and
+// with fewer than three measured backends the ejector stands down.
+func TestEjectionCapFleetwideSlowdown(t *testing.T) {
+	leakCheck(t)
+	fbs := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	urls := []string{fbs[0].ts.URL, fbs[1].ts.URL, fbs[2].ts.URL}
+	f, _ := newTestFrontend(t, Config{
+		Backends:        urls,
+		ProbeEvery:      20 * time.Millisecond,
+		EjectFactor:     3,
+		EjectHold:       30 * time.Millisecond,
+		EjectMinSamples: 4,
+		EjectBackoff:    100 * time.Millisecond,
+	})
+	reg := f.Registry()
+	for i := 0; i < 8; i++ {
+		for _, u := range urls {
+			reg.observeSuccess(grabBackend(t, reg, u), 200*time.Millisecond, true)
+		}
+	}
+	time.Sleep(200 * time.Millisecond) // several probe rounds
+	if n := reg.EjectedCount(); n != 0 {
+		t.Fatalf("fleet-wide slowdown ejected %d backends", n)
+	}
+
+	// Two-backend fleet: a 20x spread is still not ejectable — an
+	// outlier needs a median to stand out from.
+	f2, _ := newTestFrontend(t, Config{
+		Backends:        urls[:2],
+		ProbeEvery:      20 * time.Millisecond,
+		EjectFactor:     3,
+		EjectHold:       30 * time.Millisecond,
+		EjectMinSamples: 4,
+		EjectBackoff:    100 * time.Millisecond,
+	})
+	reg2 := f2.Registry()
+	for i := 0; i < 8; i++ {
+		reg2.observeSuccess(grabBackend(t, reg2, urls[0]), 5*time.Millisecond, true)
+		reg2.observeSuccess(grabBackend(t, reg2, urls[1]), 100*time.Millisecond, true)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if n := reg2.EjectedCount(); n != 0 {
+		t.Fatalf("two-backend fleet ejected %d backends", n)
+	}
+}
+
+// TestIntegrityFailureFailsOver pins a backend that stamps a wrong
+// checksum on every reply: the frontend must refuse its bytes, book the
+// integrity failure, and serve the request from the honest backend.
+func TestIntegrityFailureFailsOver(t *testing.T) {
+	leakCheck(t)
+	bad := newFakeBackend(t)
+	good := newFakeBackend(t)
+	bad.setInfer(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(server.ChecksumHeader, "crc32c=deadbeef")
+		io.WriteString(w, `{"model":"forged"}`)
+	})
+	badURL := bad.ts.URL
+	_, fts := newTestFrontend(t, Config{
+		Backends:    []string{bad.ts.URL, good.ts.URL},
+		ProbeEvery:  20 * time.Millisecond,
+		MaxAttempts: 3,
+		HedgeBudget: 0, // isolate the failover path
+		Policy:      pinFirst{url: &badURL},
+	})
+
+	resp, data := postFleetInfer(t, fts.URL, server.InferRequest{Model: "lenet5"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %d (%s)", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Mulayer-Backend"); got != good.ts.URL {
+		t.Fatalf("served by %s, want failover to %s", got, good.ts.URL)
+	}
+	if strings.Contains(string(data), "forged") {
+		t.Fatal("corrupt reply reached the client")
+	}
+
+	mresp, err := http.Get(fts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mdata), `mulayer_frontend_integrity_failures_total{backend="`+bad.ts.URL+`",reason="checksum"} 1`) {
+		t.Errorf("integrity failure not counted:\n%s", mdata)
+	}
+}

@@ -24,17 +24,22 @@ type fleetMetrics struct {
 	// hedgesSkipped by reason (budget, no_backend, disabled).
 	hedgesSkipped *metrics.CounterVec
 	// health transitions by backend and event (added, drained, undrained,
-	// removed, quarantined, probing, recovered).
+	// removed, quarantined, probing, recovered, ejected, readmitted).
 	health *metrics.CounterVec
 	// probeFailures by backend.
 	probeFailures *metrics.CounterVec
+	// ejections by backend: latency-outlier ejections.
+	ejections *metrics.CounterVec
+	// integrityFailures by backend and reason (checksum, length):
+	// replies the frontend refused to deliver.
+	integrityFailures *metrics.CounterVec
 	// latency of proxied requests end to end, by model.
 	latency *metrics.HistogramVec
 	// inflight proxied requests.
 	inflight *metrics.Gauge
 }
 
-func newFleetMetrics(healthyCount func() float64) *fleetMetrics {
+func newFleetMetrics(healthyCount, ejectedCount func() float64) *fleetMetrics {
 	reg := metrics.NewRegistry()
 	m := &fleetMetrics{
 		reg: reg,
@@ -62,6 +67,12 @@ func newFleetMetrics(healthyCount func() float64) *fleetMetrics {
 		probeFailures: metrics.NewCounterVec(reg, "mulayer_frontend_probe_failures_total",
 			"Failed health probes by backend.",
 			"backend"),
+		ejections: metrics.NewCounterVec(reg, "mulayer_frontend_ejections_total",
+			"Latency-outlier ejections by backend (gray-slow replicas removed from rotation).",
+			"backend"),
+		integrityFailures: metrics.NewCounterVec(reg, "mulayer_frontend_integrity_failures_total",
+			"Backend replies failing end-to-end integrity verification, by backend and reason.",
+			"backend", "reason"),
 		latency: metrics.NewHistogramVec(reg, "mulayer_frontend_latency_seconds",
 			"End-to-end proxied request latency (hedges and failovers included).",
 			metrics.LatencyBuckets(), "model"),
@@ -75,5 +86,8 @@ func newFleetMetrics(healthyCount func() float64) *fleetMetrics {
 	metrics.NewGaugeFunc(reg, "mulayer_frontend_backends_healthy",
 		"Backends currently routable (healthy and not draining).",
 		healthyCount)
+	metrics.NewGaugeFunc(reg, "mulayer_frontend_backends_ejected",
+		"Backends currently ejected by the latency outlier ejector.",
+		ejectedCount)
 	return m
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mulayer/internal/dispatch"
+	"mulayer/internal/server"
 )
 
 // maxInferBody bounds a proxied request body; the frontend buffers it
@@ -49,8 +50,10 @@ func newProxy(cfg Config, reg *Registry, mets *fleetMetrics) *proxy {
 		mets: mets,
 		// No client-level timeout: the per-request context carries the
 		// deadline, and a hedge loser must die by cancellation, not by
-		// running out its own clock.
-		client:      &http.Client{},
+		// running out its own clock. The tuned transport (dial and
+		// response-header timeouts) bounds the hangs a context cannot
+		// see, like a dial against a black-holed backend.
+		client:      &http.Client{Transport: cfg.Transport},
 		hedgeTokens: float64(cfg.HedgeBurst),
 	}
 }
@@ -251,6 +254,14 @@ func (p *proxy) doLeg(ctx context.Context, b *backend, body []byte) *legResult {
 		p.legFailure(ctx, b, err)
 		return &legResult{b: b, err: err}
 	}
+	if reason, err := verifyIntegrity(resp, reply); err != nil {
+		// A corrupted or truncated reply is decisive evidence against
+		// this leg, never against the client: book it like a transport
+		// failure so the request fails over to another backend.
+		p.mets.integrityFailures.With(b.url, reason).Inc()
+		p.legFailure(ctx, b, err)
+		return &legResult{b: b, err: err}
+	}
 	lat := time.Since(start)
 	served := resp.StatusCode < http.StatusMultipleChoices
 	p.reg.observeSuccess(b, lat, served)
@@ -279,10 +290,33 @@ func (p *proxy) legFailure(ctx context.Context, b *backend, err error) {
 	p.reg.observeFailure(b, time.Now())
 }
 
+// verifyIntegrity checks a buffered backend reply end to end: the body
+// must be as long as the backend declared, and when the backend stamped
+// a checksum (server.ChecksumHeader on /v1/infer replies) the bytes
+// received must hash to it. It returns the metric reason and error for
+// a reply that must not reach a client.
+func verifyIntegrity(resp *http.Response, body []byte) (reason string, err error) {
+	if resp.ContentLength >= 0 && resp.ContentLength != int64(len(body)) {
+		return "length", fmt.Errorf("frontend: reply carries %d bytes, Content-Length says %d",
+			len(body), resp.ContentLength)
+	}
+	if want := resp.Header.Get(server.ChecksumHeader); want != "" {
+		if got := server.BodyChecksum(body); got != want {
+			return "checksum", fmt.Errorf("frontend: reply checksum %s does not match stamped %s", got, want)
+		}
+	}
+	return "", nil
+}
+
 // writeLeg replays a buffered backend reply to the client.
 func writeLeg(w http.ResponseWriter, r *legResult) {
 	if ct := r.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	// The verified checksum rides through so clients can verify the
+	// client↔frontend hop themselves.
+	if sum := r.header.Get(server.ChecksumHeader); sum != "" {
+		w.Header().Set(server.ChecksumHeader, sum)
 	}
 	w.Header().Set("X-Mulayer-Backend", r.b.url)
 	w.WriteHeader(r.status)

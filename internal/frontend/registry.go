@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"os"
@@ -70,11 +71,28 @@ type backend struct {
 	overload   int           // backend-reported brownout ladder level
 	ewma       time.Duration // observed proxied-request latency EWMA (2xx only)
 
+	// Outlier-ejection state: a sliding window of served (2xx) latencies
+	// whose p95 the ejector compares against the fleet median, the time
+	// the backend first looked like an outlier, and the per-backend
+	// ejection backoff (doubling per re-ejection, Envoy-style). Guarded
+	// by Registry.mu.
+	lats         [latWindow]time.Duration
+	latN         int
+	latNext      int
+	slowSince    time.Time
+	ejected      bool
+	ejections    int64
+	ejectBackoff time.Duration
+
 	// Lock-free counters.
 	inflight atomic.Int64 // proxied requests currently in flight here
 	served   atomic.Int64 // 2xx replies proxied from this backend
 	errors   atomic.Int64 // transport errors observed against it
 }
+
+// latWindow is the per-backend served-latency window the ejector's p95
+// is computed over.
+const latWindow = 64
 
 // Registry is the fleet's backend set: membership (add/drain/remove +
 // file reload), health (active probes + passive observations through the
@@ -96,9 +114,11 @@ type Registry struct {
 // and starts the prober. cfg must already carry defaults.
 func NewRegistry(cfg Config, mets *fleetMetrics) (*Registry, error) {
 	r := &Registry{
-		cfg:      cfg,
-		mets:     mets,
-		client:   &http.Client{Timeout: cfg.ProbeTimeout},
+		cfg:  cfg,
+		mets: mets,
+		// Probes share the proxy's tuned (or fault-injected) transport:
+		// the network the prober sees is the network requests ride.
+		client:   &http.Client{Timeout: cfg.ProbeTimeout, Transport: cfg.Transport},
 		backends: make(map[string]*backend),
 		stop:     make(chan struct{}),
 	}
@@ -294,6 +314,20 @@ func (r *Registry) HealthyCount() int {
 	return n
 }
 
+// EjectedCount is the number of backends currently out of rotation by
+// decision of the latency outlier ejector.
+func (r *Registry) EjectedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, b := range r.backends {
+		if b.ejected {
+			n++
+		}
+	}
+	return n
+}
+
 // Rank returns the routable backends in the placement policy's
 // preference order for one model, with the policy's reasons. exclude
 // drops backends already tried by this request's failovers.
@@ -353,13 +387,59 @@ func (r *Registry) observeSuccess(b *backend, lat time.Duration, served bool) {
 		} else {
 			b.ewma = (b.ewma*4 + lat) / 5
 		}
+		// Feed the ejector's window: served replies only, for the same
+		// reason as the EWMA — a shedding backend's instant 503s are not
+		// service time. Not while ejected, though: stragglers from before
+		// the ejection are faulted-era evidence, and readmission should
+		// judge the backend on a fresh window.
+		if !b.ejected {
+			b.lats[b.latNext] = lat
+			b.latNext = (b.latNext + 1) % latWindow
+			if b.latN < latWindow {
+				b.latN++
+			}
+		}
 	}
-	if b.state != bkOK {
-		b.state = bkOK
-		b.backoff = 0
-		b.until = time.Time{}
-		r.mets.health.With(b.url, "recovered").Inc()
+	// An ejected backend's replies are successful by construction — it
+	// was removed for being slow, not broken, so the legs in flight when
+	// it was ejected all land as 2xx moments later. Those must not
+	// short-circuit the ejection backoff; readmission is the half-open
+	// probe's decision once the backoff expires.
+	if b.ejected && b.state != bkOK {
+		return
 	}
+	r.recoverLocked(b)
+}
+
+// recoverLocked closes the circuit on fresh positive evidence,
+// distinguishing a readmitted ejection from an ordinary recovery.
+// Caller holds Registry.mu.
+func (r *Registry) recoverLocked(b *backend) {
+	if b.state == bkOK {
+		return
+	}
+	b.state = bkOK
+	b.backoff = 0
+	b.until = time.Time{}
+	if b.ejected {
+		b.ejected = false
+		r.mets.health.With(b.url, "readmitted").Inc()
+		return
+	}
+	r.mets.health.With(b.url, "recovered").Inc()
+}
+
+// latP95Locked is the p95 of the backend's served-latency window (0
+// with no samples). Caller holds Registry.mu.
+func (b *backend) latP95Locked() time.Duration {
+	n := b.latN
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, b.lats[:n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[(n*95+99)/100-1]
 }
 
 // observeFailure records one failure against the circuit breaker —
@@ -381,9 +461,113 @@ func (r *Registry) observeFailure(b *backend, now time.Time) {
 			}
 		}
 		b.state = bkQuarantined
-		b.until = now.Add(b.backoff)
+		// ±25% jitter (the overload ladder's Retry-After trick) so
+		// backends quarantined together do not half-open together — the
+		// probe thundering herd against a recovering backend.
+		b.until = now.Add(jitterBackoff(b.backoff, rand.Float64()))
 		r.mets.health.With(b.url, "quarantined").Inc()
 	}
+}
+
+// jitterBackoff spreads a quarantine/ejection backoff across ±25% so
+// circuits opened together do not half-open together. u is a uniform
+// variate in [0, 1).
+func jitterBackoff(d time.Duration, u float64) time.Duration {
+	j := time.Duration(float64(d) * (0.75 + 0.5*u))
+	if j < time.Millisecond {
+		j = time.Millisecond
+	}
+	return j
+}
+
+// evaluateEjections is the outlier ejector, run once per probe round:
+// any routable backend whose served-latency p95 has exceeded
+// EjectFactor × the fleet median p95 for EjectHold is ejected into the
+// quarantine machinery — it answers /readyz, so only passive latency
+// evidence can take it out of rotation. Ejection is bounded: at most
+// half the registered backends may be out of rotation at once, so a
+// fleet-wide slowdown (overload, not grayness) ejects nobody.
+func (r *Registry) evaluateEjections(now time.Time) {
+	if r.cfg.EjectFactor < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Fleet median p95 over routable backends with enough samples.
+	var p95s []time.Duration
+	var cands []*backend
+	unavailable := 0
+	for _, b := range r.backends {
+		if b.state != bkOK || b.draining {
+			unavailable++
+			continue
+		}
+		if b.latN < r.cfg.EjectMinSamples {
+			continue
+		}
+		p95s = append(p95s, b.latP95Locked())
+		cands = append(cands, b)
+	}
+	// A median needs company: with fewer than 3 measured backends an
+	// "outlier" is indistinguishable from a legitimately bimodal pair.
+	if len(cands) < 3 {
+		for _, b := range cands {
+			b.slowSince = time.Time{}
+		}
+		return
+	}
+	sorted := append([]time.Duration(nil), p95s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return
+	}
+	for i, b := range cands {
+		slow := float64(p95s[i]) > r.cfg.EjectFactor*float64(median)
+		if !slow {
+			b.slowSince = time.Time{}
+			continue
+		}
+		if b.slowSince.IsZero() {
+			b.slowSince = now
+			continue
+		}
+		if now.Sub(b.slowSince) < r.cfg.EjectHold {
+			continue
+		}
+		// Ejection cap: never take out a backend when half the fleet is
+		// already unavailable (quarantined, ejected, or draining).
+		if 2*(unavailable+1) > len(r.backends) {
+			continue
+		}
+		r.ejectLocked(b, now)
+		unavailable++
+	}
+}
+
+// ejectLocked takes one gray-slow backend out of rotation through the
+// quarantine machinery, with its own doubling backoff. The latency
+// window resets so readmission starts from fresh evidence. Caller holds
+// Registry.mu.
+func (r *Registry) ejectLocked(b *backend, now time.Time) {
+	if b.ejectBackoff <= 0 {
+		b.ejectBackoff = r.cfg.EjectBackoff
+	} else {
+		b.ejectBackoff *= 2
+		if b.ejectBackoff > r.cfg.QuarantineBackoffMax {
+			b.ejectBackoff = r.cfg.QuarantineBackoffMax
+		}
+	}
+	b.state = bkQuarantined
+	b.ejected = true
+	b.ejections++
+	b.backoff = b.ejectBackoff
+	b.until = now.Add(jitterBackoff(b.ejectBackoff, rand.Float64()))
+	b.slowSince = time.Time{}
+	b.latN = 0
+	b.latNext = 0
+	r.mets.health.With(b.url, "ejected").Inc()
+	r.mets.ejections.With(b.url).Inc()
 }
 
 // probeLoop is the active prober: every ProbeEvery it probes all
@@ -433,6 +617,9 @@ func (r *Registry) probeRound(now time.Time) {
 		}(b)
 	}
 	wg.Wait()
+
+	// With this round's evidence in, look for gray-slow outliers.
+	r.evaluateEjections(now)
 }
 
 // probeOne checks one backend's /readyz and, when ready, refreshes its
@@ -485,12 +672,7 @@ func (r *Registry) observeProbeSuccess(b *backend) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	b.failures = 0
-	if b.state != bkOK {
-		b.state = bkOK
-		b.backoff = 0
-		b.until = time.Time{}
-		r.mets.health.With(b.url, "recovered").Inc()
-	}
+	r.recoverLocked(b)
 }
 
 // BackendStatus is one backend's row in the frontend's /statusz and
@@ -501,6 +683,11 @@ type BackendStatus struct {
 	// Draining: taking no new traffic by admin decision.
 	Draining bool `json:"draining,omitempty"`
 	Failures int  `json:"failures,omitempty"`
+	// Ejected: quarantined by the latency outlier ejector (still answers
+	// probes, too slow to keep in rotation). Ejections counts lifetime
+	// ejections of this backend.
+	Ejected   bool  `json:"ejected,omitempty"`
+	Ejections int64 `json:"ejections,omitempty"`
 	// Inflight is this frontend's requests currently proxied there.
 	Inflight int64 `json:"inflight"`
 	Served   int64 `json:"served"`
@@ -514,8 +701,10 @@ type BackendStatus struct {
 	OverloadLevel   int     `json:"overload_level"`
 	// SignalAgeMS is how stale that signal is (-1 before the first probe).
 	SignalAgeMS float64 `json:"signal_age_ms"`
-	// EwmaMS is the observed proxied-latency EWMA.
-	EwmaMS float64 `json:"ewma_ms"`
+	// EwmaMS is the observed proxied-latency EWMA; LatP95MS is the p95 of
+	// the served-latency window the outlier ejector judges by.
+	EwmaMS   float64 `json:"ewma_ms"`
+	LatP95MS float64 `json:"lat_p95_ms"`
 	// PredictedLoadMS is what the placement policy currently ranks by.
 	PredictedLoadMS float64 `json:"predicted_load_ms"`
 }
@@ -531,6 +720,8 @@ func (r *Registry) Snapshot() []BackendStatus {
 			State:           b.state.String(),
 			Draining:        b.draining,
 			Failures:        b.failures,
+			Ejected:         b.ejected,
+			Ejections:       b.ejections,
 			Inflight:        b.inflight.Load(),
 			Served:          b.served.Load(),
 			TransportErrors: b.errors.Load(),
@@ -541,6 +732,7 @@ func (r *Registry) Snapshot() []BackendStatus {
 			OverloadLevel:   b.overload,
 			SignalAgeMS:     -1,
 			EwmaMS:          float64(b.ewma) / float64(time.Millisecond),
+			LatP95MS:        float64(b.latP95Locked()) / float64(time.Millisecond),
 			PredictedLoadMS: float64(b.predictedLoadLocked()) / float64(time.Millisecond),
 		}
 		if !b.sigAt.IsZero() {

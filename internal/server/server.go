@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"math/rand/v2"
@@ -231,21 +232,52 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ChecksumHeader carries the end-to-end integrity checksum of a
+// /v1/infer reply body. The fleet frontend recomputes it over the bytes
+// it received and treats a mismatch as a transport failure eligible for
+// failover, so a corrupting backend or network path can never hand
+// garbage to a client.
+const ChecksumHeader = "X-Mulayer-Checksum"
+
+// crcTable is CRC-32C (Castagnoli), the common wire-integrity polynomial.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BodyChecksum computes the integrity checksum the serve tier stamps
+// and the frontend verifies.
+func BodyChecksum(body []byte) string {
+	return fmt.Sprintf("crc32c=%08x", crc32.Checksum(body, crcTable))
+}
+
+// writeJSONSum is writeJSON plus the integrity stamp: the body is
+// marshalled up front so its checksum can ride in a header.
+func writeJSONSum(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeJSON(w, code, v)
+		return
+	}
+	body = append(body, '\n') // parity with json.Encoder
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ChecksumHeader, BodyChecksum(body))
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	reqStart := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
+		writeJSONSum(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
 		return
 	}
 	req, err := decodeInferRequest(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSONSum(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	m, ok := s.cfg.Models[req.Model]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q", req.Model)})
+		writeJSONSum(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown model %q", req.Model)})
 		return
 	}
 	if len(req.Shape) > 0 {
@@ -254,7 +286,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			elems *= d
 		}
 		if want := m.InputShape.Elems(); elems != want {
-			writeJSON(w, http.StatusBadRequest, errorBody{
+			writeJSONSum(w, http.StatusBadRequest, errorBody{
 				Error: fmt.Sprintf("shape %v carries %d elements, model %q wants %d", req.Shape, elems, req.Model, want)})
 			return
 		}
@@ -265,7 +297,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	mech, ok := mechanisms[mechName]
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown mechanism %q", mechName)})
+		writeJSONSum(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown mechanism %q", mechName)})
 		return
 	}
 	rows := req.Batch
@@ -307,10 +339,10 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			// together, so they do not return as one herd.
 			w.Header().Set("Retry-After", fmt.Sprint(jitterRetryAfter(s.sched.RetryAfter(), rand.Float64())))
 		}
-		writeJSON(w, code, errorBody{Error: out.err.Error()})
+		writeJSONSum(w, code, errorBody{Error: out.err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, InferResponse{
+	writeJSONSum(w, http.StatusOK, InferResponse{
 		Model:       req.Model,
 		Mechanism:   mechName,
 		SoC:         out.class,

@@ -362,3 +362,33 @@ func TestReadyzDraining(t *testing.T) {
 		t.Fatalf("infer while draining: %d", resp2.StatusCode)
 	}
 }
+
+// TestInferChecksumHeader: every /v1/infer reply — success and error
+// alike — carries X-Mulayer-Checksum over the exact bytes sent, so a
+// proxy can verify the reply survived the network intact.
+func TestInferChecksumHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		SoCs:       []SoCSpec{{Name: "high", SoC: soc.Exynos7420, Workers: 1}},
+		QueueDepth: 8,
+	})
+	check := func(resp *http.Response, body []byte) {
+		t.Helper()
+		got := resp.Header.Get(ChecksumHeader)
+		if got == "" {
+			t.Fatalf("%d reply has no %s header", resp.StatusCode, ChecksumHeader)
+		}
+		if want := BodyChecksum(body); got != want {
+			t.Fatalf("%d reply checksum %s, body hashes to %s", resp.StatusCode, got, want)
+		}
+	}
+	resp, body := postInfer(t, ts.URL, InferRequest{Model: "lenet5"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %d (%s)", resp.StatusCode, body)
+	}
+	check(resp, body)
+	resp, body = postInfer(t, ts.URL, InferRequest{Model: "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+	check(resp, body)
+}
